@@ -1,0 +1,98 @@
+"""Ablations of NetRPC's own design choices (§4, §5.1).
+
+Two claims from the paper get isolated:
+
+* *automatic data parallelism* — "NetRPC automatically partitions the
+  task ... to fully utilize the 100+ Gbps links": goodput must scale
+  with the number of parallel worker flows;
+* *w_max = 256* — "we experimentally set w_max = 256 and find it
+  sufficient to achieve a per-flow bandwidth of 20+ Gbps": a single
+  flow's goodput must clear 20 Gbps at 256 and be window-starved at
+  small w_max.
+"""
+
+from repro.experiments.common import format_table, run_sync_aggregation
+from repro.netsim import scaled
+
+
+def test_ablation_parallel_flows(run_experiment, benchmark):
+    def sweep():
+        goodputs = {}
+        for flows in (1, 2, 4):
+            cal = scaled(flows_per_app=flows)
+            goodputs[flows] = run_sync_aggregation(
+                n_values=64_000, cal=cal).goodput_gbps
+        rows = [[f"{flows} flow(s)", f"{gbps:.2f}"]
+                for flows, gbps in goodputs.items()]
+        return {"goodputs": goodputs,
+                "table": format_table(
+                    "Ablation: automatic data parallelism (worker flows)",
+                    ["flows per host", "goodput Gbps"], rows)}
+
+    result = run_experiment(sweep)
+    goodputs = result["goodputs"]
+    benchmark.extra_info["goodputs"] = goodputs
+    # More parallel flows -> more goodput, saturating (not linear).
+    assert goodputs[2] > goodputs[1]
+    assert goodputs[4] > goodputs[2]
+    assert goodputs[4] < 4 * goodputs[1]
+
+
+def test_ablation_w_max(run_experiment, benchmark):
+    def sweep():
+        goodputs = {}
+        for w_max in (32, 64, 128, 256):
+            cal = scaled(w_max=w_max,
+                         initial_cwnd=min(128, w_max),
+                         flows_per_app=1)
+            goodputs[w_max] = run_sync_aggregation(
+                n_values=64_000, cal=cal).goodput_gbps
+        rows = [[w, f"{g:.2f}"] for w, g in goodputs.items()]
+        return {"goodputs": goodputs,
+                "table": format_table(
+                    "Ablation: w_max (single-flow goodput)",
+                    ["w_max", "goodput Gbps"], rows)}
+
+    result = run_experiment(sweep)
+    goodputs = result["goodputs"]
+    benchmark.extra_info["goodputs"] = goodputs
+    # Small windows starve a single flow; 256 clears the paper's 20 Gbps.
+    assert goodputs[32] < goodputs[256]
+    assert goodputs[256] > 20.0
+
+
+def test_ablation_cc_mode(run_experiment, benchmark):
+    """AIMD (the paper's shipped design) vs the §7 DCTCP extension."""
+
+    def sweep():
+        goodputs = {}
+        for mode in ("aimd", "dctcp"):
+            from repro.control import build_rack
+            from repro.inc import Task
+            from repro.experiments.common import CAL, sync_program
+            dep = build_rack(2, 1, cal=CAL)
+            (config,) = dep.controller.register(
+                [sync_program(2)], server="s0", clients=["c0", "c1"],
+                value_slots=262_144, counter_slots=16_384, linear=True,
+                cc_mode=mode)
+            n = 128_000
+            events = [dep.client_agent(i).submit(
+                Task(app=config, round=0,
+                     items=[(j, 1) for j in range(n)],
+                     expect_result=True)) for i in range(2)]
+            for event in events:
+                dep.sim.run_until(event, limit=60.0)
+            goodputs[mode] = n * 32 / dep.sim.now / 1e9
+        rows = [[mode, f"{gbps:.2f}"] for mode, gbps in goodputs.items()]
+        return {"goodputs": goodputs,
+                "table": format_table(
+                    "Ablation: congestion-control mode (SyncAggr goodput)",
+                    ["mode", "goodput Gbps"], rows)}
+
+    result = run_experiment(sweep)
+    goodputs = result["goodputs"]
+    benchmark.extra_info["goodputs"] = goodputs
+    # Both modes must sustain real throughput; the finer-grained DCTCP
+    # adjustment should not be worse than coarse AIMD.
+    assert goodputs["aimd"] > 20.0
+    assert goodputs["dctcp"] > 0.9 * goodputs["aimd"]

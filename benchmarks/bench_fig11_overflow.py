@@ -1,0 +1,31 @@
+"""Figure 11: arithmetic overflow ratio vs throughput (§6.4).
+
+Shapes under test: negligible cost at tiny overflow ratios, smooth
+degradation as the software fallback engages, and the INC path stays
+above the pure software baseline until overflow becomes pathological
+(the paper: 65 Gbps at 1% overflow vs a 40 Gbps software ceiling).
+Correctness of the recovered values is covered by the test suite.
+"""
+
+from repro.experiments import exp_overflow
+
+
+def test_fig11_overflow_throughput(run_experiment, benchmark):
+    result = run_experiment(exp_overflow.run, fast=True)
+    curve = result["goodput"]
+    ratios = result["ratios"]
+    benchmark.extra_info["goodput"] = dict(zip(
+        (f"{r:.4%}" for r in ratios), curve))
+    benchmark.extra_info["software"] = result["software"]
+
+    # Tiny overflow ratios are nearly free (<10% cost at 0.01%).
+    assert curve[2] > 0.90 * curve[0]
+    # Heavy overflow costs real throughput...
+    assert curve[-1] < curve[0]
+    # ...but the system still runs well above a trickle.
+    assert curve[-1] > 0.25 * curve[0]
+    # Overflowed chunks actually happened where expected.
+    assert result["overflow_chunks"][0] == 0
+    assert result["overflow_chunks"][-1] > 0
+    # At clean operation the INC path clearly beats software.
+    assert curve[0] > result["software"]

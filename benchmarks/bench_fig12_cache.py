@@ -1,0 +1,31 @@
+"""Figure 12: cache-policy comparison (§6.4).
+
+Shapes under test: NetRPC's periodic counting-LRU reaches the best
+cache hit ratio under a shifting Zipf hot set and the best goodput;
+hash addressing (ASK/ATP style) trails because collisions permanently
+exile keys; CHR and goodput correlate positively.
+"""
+
+from repro.experiments import exp_cache
+
+
+def test_fig12_cache_policies(run_experiment, benchmark):
+    result = run_experiment(exp_cache.run, fast=True)
+    r = result["results"]
+    benchmark.extra_info.update(r)
+
+    # NetRPC's periodic update wins CHR against every baseline policy.
+    for policy in ("fcfs", "hash", "pon"):
+        assert r["netrpc"]["chr"] > r[policy]["chr"], policy
+    # ...and at least matches the best baseline's goodput.
+    best_baseline = max(r[p]["goodput_gbps"]
+                        for p in ("fcfs", "hash", "pon"))
+    assert r["netrpc"]["goodput_gbps"] >= 0.95 * best_baseline
+
+    # Hash addressing has the worst CHR of the adaptive alternatives
+    # (the paper's "HASH performs the worst").
+    assert r["hash"]["chr"] <= min(r["netrpc"]["chr"], r["fcfs"]["chr"])
+
+    # CHR correlates positively with goodput across policies.
+    ordered = sorted(r.values(), key=lambda row: row["chr"])
+    assert ordered[-1]["goodput_gbps"] >= ordered[0]["goodput_gbps"]

@@ -1,0 +1,32 @@
+"""Figure 13: NetRPC on one vs two chained switches (§6.6).
+
+Shapes under test: with one switch the CHR/goodput cliff appears once
+distinct keys exceed its memory M; chaining a second switch doubles the
+effective INC map, holding CHR high at 2M keys and beating the
+one-switch goodput well past the cliff (the paper's 1.63x at 2.5M).
+"""
+
+from repro.experiments import exp_twoswitch
+
+
+def test_fig13_two_switches(run_experiment, benchmark):
+    result = run_experiment(exp_twoswitch.run, fast=True)
+    curves = result["curves"]
+    benchmark.extra_info["curves"] = curves
+
+    one = curves["1 switch"]
+    two = curves["2 switches"]
+
+    # Below one switch's capacity both configurations hit the cache.
+    assert one[0]["chr"] > 0.5
+    assert two[0]["chr"] > 0.5
+
+    # At 2M keys the single switch has fallen off the cliff...
+    assert one[-1]["chr"] < 0.6 * one[0]["chr"]
+    # ...while two switches still cover the working set...
+    assert two[-1]["chr"] > 0.9 * two[0]["chr"]
+    # ...and deliver the paper's goodput advantage past the cliff.
+    assert two[-1]["goodput"] > 1.4 * one[-1]["goodput"]
+
+    # The peak goodput decreases only moderately with the longer chain.
+    assert two[0]["goodput"] > 0.4 * one[0]["goodput"]

@@ -1,0 +1,34 @@
+"""Figure 7: Paxos throughput and p99 latency (paper §6.3).
+
+Shapes under test: NetRPC reaches the highest throughput (the paper's
+12% over P4xos, from multicasting only decisions to learners); both INC
+systems far outrun the software stacks; latency orders
+P4xos < NetRPC < DPDK paxos < libpaxos (NetRPC pays one extra trip to
+the software acceptors).
+"""
+
+from repro.experiments import exp_paxos
+
+
+def test_fig7_paxos(run_experiment, benchmark):
+    result = run_experiment(exp_paxos.run, n_instances=6000)
+    r = result["results"]
+    benchmark.extra_info.update(
+        {name: {"throughput": v["throughput"], "p99_us": v["p99"] * 1e6}
+         for name, v in r.items()})
+
+    for name, row in r.items():
+        assert row["decided"] == 6000, f"{name} lost instances"
+
+    # Throughput: NetRPC > P4xos > DPDK paxos > libpaxos.
+    assert r["NetRPC"]["throughput"] > r["P4xos"]["throughput"]
+    assert r["P4xos"]["throughput"] > r["DPDK paxos"]["throughput"]
+    assert r["DPDK paxos"]["throughput"] > r["libpaxos"]["throughput"]
+    # The INC-over-software gap is large (the paper's 4.9-7.9x).
+    assert r["NetRPC"]["throughput"] > 1.5 * r["libpaxos"]["throughput"]
+
+    # Latency: P4xos fastest; NetRPC pays the software-acceptor trip but
+    # stays well below both software stacks.
+    assert r["P4xos"]["p99"] < r["NetRPC"]["p99"]
+    assert r["NetRPC"]["p99"] < r["DPDK paxos"]["p99"]
+    assert r["DPDK paxos"]["p99"] < r["libpaxos"]["p99"]

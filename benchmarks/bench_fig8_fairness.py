@@ -1,0 +1,33 @@
+"""Figure 8: congestion-control fairness on a shared dataplane (§6.4).
+
+Shapes under test: the two concurrent applications converge, together
+drive the shared client uplinks to a high fraction of 100 Gbps (the
+paper's 77-89%), and split it with a healthy Jain fairness index.
+"""
+
+from repro.experiments import exp_fairness
+
+
+def test_fig8_fairness(run_experiment, benchmark):
+    result = run_experiment(exp_fairness.run_fairness)
+    benchmark.extra_info["sync_gbps"] = result["sync_gbps"]
+    benchmark.extra_info["async_gbps"] = result["async_gbps"]
+    benchmark.extra_info["combined_gbps"] = result["combined_gbps"]
+    benchmark.extra_info["jain"] = result["fairness"]
+
+    # Both applications make real progress...
+    assert result["sync_gbps"] > 5.0
+    assert result["async_gbps"] > 5.0
+    # ...the shared uplink is highly utilised (paper: 77-89%)...
+    assert 0.60 < result["combined_gbps"] / 100.0 <= 1.0
+    # ...and the split is reasonably fair.
+    assert result["fairness"] > 0.75
+
+    # Convergence: the second half of each series is steadier than the
+    # ramp (coefficient of variation check on the sync app).
+    series = result["series"]["sync"]
+    tail = [v for t, v in series[len(series) // 2:]]
+    if len(tail) >= 3:
+        mean = sum(tail) / len(tail)
+        var = sum((v - mean) ** 2 for v in tail) / len(tail)
+        assert var ** 0.5 < mean  # no wild oscillation

@@ -1,0 +1,21 @@
+"""Figure 9: packet loss with and without congestion control (§6.4).
+
+Shape under test: enabling the ECN-based window control removes most of
+the queue-overflow loss (the paper reports ~63% reduction).
+"""
+
+from repro.experiments import exp_fairness
+
+
+def test_fig9_cc_reduces_loss(run_experiment, benchmark):
+    result = run_experiment(exp_fairness.run_cc_loss)
+    benchmark.extra_info["loss"] = result["loss"]
+    benchmark.extra_info["reduction"] = result["reduction"]
+
+    with_cc = result["loss"]["with-cc"]
+    without_cc = result["loss"]["without-cc"]
+    # Without CC the senders overrun the queues...
+    assert without_cc > 0.005
+    # ...with CC the loss drops by at least half (paper: 63%).
+    assert result["reduction"] > 0.5
+    assert with_cc < without_cc

@@ -1,0 +1,20 @@
+"""Table 4: lines-of-code comparison (paper §6.2).
+
+Shape under test: a complete NetRPC application needs a small fraction
+of the prior arts' reported code, and its only switch-side artifact is
+a 10-30 line NetFilter.
+"""
+
+from repro.experiments import exp_loc
+
+
+def test_table4_loc(run_experiment, benchmark):
+    result = run_experiment(exp_loc.run)
+    for app, row in result["results"].items():
+        benchmark.extra_info[app] = row
+        # The headline claim: >90% reduction vs the handcrafted systems.
+        assert row["reduction"] > 0.90, app
+        # The switch-side artifact stays a filter, not a program.
+        assert row["netrpc_switch"] <= 30, app
+        # And the endhost code is a few hundred lines at most.
+        assert row["netrpc_endhost"] < 500, app

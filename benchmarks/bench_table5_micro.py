@@ -1,0 +1,40 @@
+"""Table 5: microbenchmarks on basic INC functions (paper §6.4).
+
+Shapes under test, row by row:
+* SyncAgtr goodput:  NetRPC > ATP > pure software;
+* AsyncAgtr goodput: NetRPC ~ ASK, both above pure software;
+* voting delay:      both INC systems far below software;
+* monitor delay:     INC counting beats software counting, the
+                     hand-specialised sketch is leanest;
+* pps capacity:      the switch is line rate, software is CPU-bounded.
+"""
+
+from repro.experiments import exp_micro
+
+
+def test_table5_microbenchmarks(run_experiment, benchmark):
+    result = run_experiment(exp_micro.run, fast=True)
+    benchmark.extra_info.update(
+        {k: v for k, v in result.items() if k != "table"})
+
+    sync = result["sync"]
+    assert sync["netrpc"] > sync["atp"] > sync["dpdk"]
+    # NetRPC's edge over ATP is modest (the paper's 9%).
+    assert sync["netrpc"] < 1.3 * sync["atp"]
+
+    async_row = result["async"]
+    # NetRPC and ASK within 10% of each other (paper: 72.3 vs 74.0)...
+    assert abs(async_row["netrpc"] - async_row["ask"]) \
+        < 0.10 * async_row["ask"]
+    # ...and both clearly above the software path (paper: +37%).
+    assert async_row["netrpc"] > 1.2 * async_row["dpdk"]
+
+    voting = result["voting_s"]
+    assert voting["netrpc"] < voting["dpdk"]
+    assert voting["p4xos"] < voting["dpdk"]
+    # The two INC systems are in the same band (paper: 20 vs 22 us).
+    assert voting["netrpc"] < 3 * voting["p4xos"]
+
+    monitor = result["monitor_s"]
+    assert monitor["netrpc"] < monitor["dpdk"]
+    assert monitor["sketch"] < monitor["netrpc"]

@@ -1,0 +1,38 @@
+"""Table 6: clear-policy impact on latency/memory/throughput (§6.4).
+
+Shapes under test: copy pays the highest latency (server detour) at 1x
+memory; shadow is low-latency but doubles memory and loses the most
+throughput (recirculating clears); lazy wins both axes at 0% overflow
+and degrades as overflow grows.
+"""
+
+from repro.experiments import exp_clear
+
+
+def test_table6_clear_policies(run_experiment, benchmark):
+    result = run_experiment(exp_clear.run, fast=True)
+    r = result["results"]
+    benchmark.extra_info.update(
+        {k: {"latency_us": v["latency_s"] * 1e6,
+             "goodput": v["goodput_gbps"], "memory": v["memory"]}
+         for k, v in r.items()})
+
+    # Latency: copy > shadow >= lazy (the server-detour cost).
+    assert r["copy"]["latency_s"] > r["shadow"]["latency_s"]
+    assert r["copy"]["latency_s"] > r["lazy (0%)"]["latency_s"]
+
+    # Memory: only shadow double-buffers.
+    assert r["shadow"]["memory"] == "2x"
+    assert r["copy"]["memory"] == "1x"
+    assert r["lazy (0%)"]["memory"] == "1x"
+
+    # Throughput: shadow is the slowest of the three mechanisms; lazy at
+    # 0% overflow matches or beats copy.
+    assert r["shadow"]["goodput_gbps"] < r["copy"]["goodput_gbps"]
+    assert r["shadow"]["goodput_gbps"] < r["lazy (0%)"]["goodput_gbps"]
+    assert r["lazy (0%)"]["goodput_gbps"] >= 0.95 * \
+        r["copy"]["goodput_gbps"]
+
+    # Lazy degrades with the overflow ratio.
+    assert r["lazy (10%)"]["goodput_gbps"] < \
+        r["lazy (0%)"]["goodput_gbps"]

@@ -1,0 +1,36 @@
+"""Table 7: concurrent application throughput and latency (§6.5).
+
+Shapes under test: the multi-application dataplane keeps the
+bandwidth-heavy applications productive as instances multiply (no
+switch reboots, shared RIPs and memory), while the latency-type
+applications see microsecond-scale delays that grow only moderately.
+"""
+
+from repro.experiments import exp_multiapp
+
+
+def test_table7_concurrent_apps(run_experiment, benchmark):
+    result = run_experiment(exp_multiapp.run)
+    s = result["scenarios"]
+    benchmark.extra_info.update(s)
+
+    # Every scenario keeps all four application types running.
+    for name, row in s.items():
+        assert row["sync_gbps"] > 1.0, name
+        assert row["async_gbps"] > 1.0, name
+        assert row["kv_delay_us"] > 0, name
+        assert row["vote_delay_us"] > 0, name
+
+    # Heavy apps share bandwidth: a single instance gets the most, and
+    # the per-type totals stay substantial at 4APP and 4APPx5.
+    assert s["4APP"]["sync_gbps"] <= s["1APP"]["sync_gbps"] * 1.05
+    total_4 = s["4APP"]["sync_gbps"] + s["4APP"]["async_gbps"]
+    total_20 = s["4APPx5"]["sync_gbps"] + s["4APPx5"]["async_gbps"]
+    assert total_4 > 20.0
+    assert total_20 > 20.0
+
+    # Latency apps stay in the microsecond band even with 20 apps.
+    assert s["4APPx5"]["kv_delay_us"] < 100.0
+    assert s["4APPx5"]["vote_delay_us"] < 200.0
+    # ...though contention grows latency monotonically.
+    assert s["1APP"]["kv_delay_us"] <= s["4APPx5"]["kv_delay_us"]

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Network monitoring with sub-RTT counter reads (the KeyValue type).
+
+Two monitoring points stream flow observations from a heavy-tailed
+synthetic trace (a CAIDA stand-in) into the INC map; per-flow counters
+accumulate on the switch.  Operator queries then *bounce at the switch*
+— the collector server never sees them — which is the latency win the
+paper measures in Table 5.
+
+Run:  python examples/network_monitoring.py
+"""
+
+from repro.apps import FlowMonitor
+from repro.control import build_rack
+from repro.workloads import SyntheticTrace
+
+
+def main() -> None:
+    deployment = build_rack(n_clients=2, n_servers=1)
+    trace = SyntheticTrace(n_flows=2000, seed=7)
+    records = list(trace.packets(8000))
+    shards = {"c0": records[: len(records) // 2],
+              "c1": records[len(records) // 2:]}
+
+    monitor = FlowMonitor(deployment, batch_flows=32)
+    stats = monitor.feed(shards)
+    deployment.sim.run(until=deployment.sim.now + 0.05)
+
+    truth = trace.exact_counts(records)
+    top = sorted(truth, key=truth.get, reverse=True)[:5]
+
+    server_rx_before = deployment.server_agent(0).stats["data_rx"]
+    counts = monitor.query(top)
+    server_rx_after = deployment.server_agent(0).stats["data_rx"]
+    latency = monitor.query_latency(top[0])
+
+    print(f"streamed {stats.packets_observed} observations in "
+          f"{stats.batches_sent} batches "
+          f"({stats.elapsed_s * 1e3:.2f} ms simulated)")
+    print("heaviest flows (INC counter / ground truth):")
+    for flow in top:
+        print(f"  {flow:45} {counts[flow]:5d} / {truth[flow]}")
+    print(f"single-counter query latency: {latency * 1e6:.1f} us")
+    print(f"server packets during queries: "
+          f"{server_rx_after - server_rx_before} (reads bounced at switch)")
+    assert all(counts[f] == truth[f] for f in top)
+    print("OK: heavy-hitter counters are exact and reads are sub-RTT.")
+
+
+if __name__ == "__main__":
+    main()

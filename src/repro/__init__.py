@@ -1,0 +1,13 @@
+"""NetRPC reproduction: in-network computation in remote procedure calls.
+
+A faithful Python implementation of *NetRPC* (NSDI 2023) over a
+discrete-event dataplane simulator.  See DESIGN.md for the architecture
+and EXPERIMENTS.md for the paper-vs-measured evaluation.
+"""
+
+from . import control, core, inc, netsim, protocol, switchsim
+
+__version__ = "1.0.0"
+
+__all__ = ["core", "inc", "switchsim", "netsim", "control", "protocol",
+           "__version__"]

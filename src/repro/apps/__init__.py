@@ -1,0 +1,20 @@
+"""The four INC application types built on the NetRPC public API.
+
+Maps to the paper's Table 1: distributed training (SyncAgtr), WordCount
+MapReduce (AsyncAgtr), network monitoring (KeyValue), and Paxos plus a
+lock server (Agreement).
+"""
+
+from .lock import LOCK_PROTO, LockService, lock_filters
+from .monitoring import MONITOR_PROTO, FlowMonitor, monitor_filters
+from .paxos import PAXOS_PROTO, PaxosCluster, paxos_filters
+from .training import GRAD_PROTO, TrainingJob, TrainingReport, gradient_filter
+from .wordcount import MR_PROTO, WordCountJob, mr_filters
+
+__all__ = [
+    "TrainingJob", "TrainingReport", "GRAD_PROTO", "gradient_filter",
+    "WordCountJob", "MR_PROTO", "mr_filters",
+    "FlowMonitor", "MONITOR_PROTO", "monitor_filters",
+    "PaxosCluster", "PAXOS_PROTO", "paxos_filters",
+    "LockService", "LOCK_PROTO", "lock_filters",
+]

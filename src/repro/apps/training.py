@@ -1,0 +1,128 @@
+"""Distributed ML training on NetRPC (SyncAgtr, paper §6.3 / Figure 6).
+
+A BytePS-style data-parallel training loop: each worker computes a
+gradient (modelled as compute time from the DNN profile), pushes it
+through the ``Update`` RPC — whose NetFilter aggregates it in-network —
+and waits for the aggregated result before the next iteration.
+
+Gradient size is scaled down by ``scale`` (simulating 138M-element
+tensors packet-by-packet is infeasible); the compute time is scaled by
+the same factor, so the communication/computation ratio — the quantity
+Figure 6 actually depends on — is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.control import Deployment
+from repro.core import Channel, NetRPCService, ServerStub, register_service
+from repro.workloads import ModelProfile, synthetic_gradient
+
+__all__ = ["TrainingJob", "TrainingReport", "GRAD_PROTO", "gradient_filter"]
+
+GRAD_PROTO = """
+import "netrpc.proto";
+message NewGrad { netrpc.FPArray tensor = 1; }
+message AgtrGrad { netrpc.FPArray tensor = 1; }
+service GradientService {
+  rpc Update (NewGrad) returns (AgtrGrad) {} filter "agtr.nf"
+}
+"""
+
+
+def gradient_filter(n_workers: int, clear: str = "copy",
+                    precision: int = 6) -> str:
+    """The paper's Figure 3 NetFilter, parameterised."""
+    return f"""{{
+      "AppName": "DT-1",
+      "Precision": {precision},
+      "get": "AgtrGrad.tensor",
+      "addTo": "NewGrad.tensor",
+      "clear": "{clear}",
+      "modify": "nop",
+      "CntFwd": {{"to": "ALL", "threshold": {n_workers},
+                  "key": "ClientID"}}
+    }}"""
+
+
+@dataclass
+class TrainingReport:
+    """Result of a training run."""
+
+    model: str
+    iterations: int
+    elapsed_s: float
+    samples_per_iteration: int
+    scale: int
+    per_worker_speeds: List[float] = field(default_factory=list)
+
+    @property
+    def images_per_second(self) -> float:
+        """Average per-worker training speed (Figure 6's metric)."""
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.iterations * self.samples_per_iteration / self.elapsed_s
+
+
+class TrainingJob:
+    """Drives synchronous data-parallel training over a deployment."""
+
+    def __init__(self, deployment: Deployment, model: ModelProfile,
+                 workers: Optional[List[str]] = None, server: str = "s0",
+                 scale: int = 2000, clear: str = "copy",
+                 value_slots: int = 65536, counter_slots: int = 4096):
+        self.deployment = deployment
+        self.model = model
+        self.workers = workers or deployment.client_names
+        self.scale = scale
+        self.grad_len = max(32, (model.parameters // scale) // 32 * 32)
+        self.compute_s = model.compute_s / scale * \
+            (self.grad_len / (model.parameters / scale))
+        service = NetRPCService.from_text(
+            GRAD_PROTO, "GradientService",
+            {"agtr.nf": gradient_filter(len(self.workers), clear=clear)})
+        self.registered = register_service(
+            deployment, service, server=server, clients=self.workers,
+            value_slots=value_slots, counter_slots=counter_slots)
+        self.server_stub = ServerStub(self.registered)
+        self._stubs = {w: Channel(self.registered, w).stub()
+                       for w in self.workers}
+        self.iterations_done: Dict[str, int] = {w: 0 for w in self.workers}
+
+    # ------------------------------------------------------------------
+    def _worker_process(self, worker: str, iterations: int):
+        sim = self.deployment.sim
+        stub = self._stubs[worker]
+        request_type = self.registered.binding("Update").request
+        gradient = synthetic_gradient(self.grad_len,
+                                      seed=hash(worker) % 2**31)
+        for iteration in range(iterations):
+            yield sim.timeout(self.compute_s)   # forward + backward pass
+            request = request_type(tensor=gradient)
+            reply_event = stub.call_async("Update", request,
+                                          round=iteration)
+            yield reply_event                   # wait for the aggregate
+            self.iterations_done[worker] += 1
+
+    def run(self, iterations: int = 10, limit: float = 300.0
+            ) -> TrainingReport:
+        """Run ``iterations`` synchronous rounds; returns the report."""
+        sim = self.deployment.sim
+        start = sim.now
+        processes = [sim.process(self._worker_process(w, iterations),
+                                 name=f"train-{w}")
+                     for w in self.workers]
+        done = sim.all_of(processes)
+        sim.run_until(done, limit=start + limit)
+        elapsed = sim.now - start
+        # Normalise speed back to full-model scale: one simulated
+        # iteration trains `samples_per_iteration` images in
+        # elapsed/iterations of *scaled* time.
+        return TrainingReport(
+            model=self.model.name, iterations=iterations,
+            elapsed_s=elapsed * self.scale *
+            (self.model.parameters / self.scale) / self.grad_len,
+            samples_per_iteration=self.model.samples_per_iteration,
+            scale=self.scale)

@@ -1,0 +1,131 @@
+"""WordCount over NetRPC: the MapReduce (AsyncAgtr) application.
+
+Reproduces the paper's Figure 16-18 example: mappers count words in
+their document shards locally, push the partial counts through the
+``ReduceByKey`` RPC — the switch aggregates them in-network — and any
+client reads the totals back with ``Query``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.control import Deployment
+from repro.core import Channel, NetRPCService, ServerStub, register_service
+from repro.workloads import word_count
+
+__all__ = ["WordCountJob", "MR_PROTO", "mr_filters"]
+
+MR_PROTO = """
+import "netrpc.proto";
+message ReduceRequest { netrpc.STRINTMap kvs = 1; }
+message ReduceReply { string msg = 1; }
+message QueryRequest { netrpc.STRINTMap kvs = 1; }
+message QueryReply { netrpc.STRINTMap kvs = 1; }
+service MapReduce {
+  rpc ReduceByKey (ReduceRequest) returns (ReduceReply) {} filter "reduce.nf"
+  rpc Query (QueryRequest) returns (QueryReply) {} filter "query.nf"
+}
+"""
+
+
+def mr_filters(app_name: str = "MR-1") -> Dict[str, str]:
+    """The paper's Figure 17 NetFilters."""
+    return {
+        "reduce.nf": f"""{{
+          "AppName": "{app_name}", "Precision": 0,
+          "get": "nop", "addTo": "ReduceRequest.kvs",
+          "clear": "nop", "modify": "nop",
+          "CntFwd": {{"to": "SRC", "threshold": 0, "key": "NULL"}}
+        }}""",
+        "query.nf": f"""{{
+          "AppName": "{app_name}", "Precision": 0,
+          "get": "QueryReply.kvs", "addTo": "nop",
+          "clear": "nop", "modify": "nop",
+          "CntFwd": {{"to": "SRC", "threshold": 0, "key": "NULL"}}
+        }}""",
+    }
+
+
+@dataclass
+class WordCountResult:
+    counts: Dict[str, int]
+    elapsed_s: float
+    cache_hit_ratio: float
+    documents: int
+
+
+class WordCountJob:
+    """Distributed word count across the deployment's client hosts."""
+
+    def __init__(self, deployment: Deployment,
+                 mappers: Optional[List[str]] = None, server: str = "s0",
+                 value_slots: int = 65536, cache_policy: str = "netrpc",
+                 batch_words: int = 512):
+        self.deployment = deployment
+        self.mappers = mappers or deployment.client_names
+        self.batch_words = batch_words
+        service = NetRPCService.from_text(MR_PROTO, "MapReduce",
+                                          mr_filters())
+        self.registered = register_service(
+            deployment, service, server=server, clients=self.mappers,
+            value_slots=value_slots, cache_policy=cache_policy)
+        self.server_stub = ServerStub(self.registered)
+        self._stubs = {m: Channel(self.registered, m).stub()
+                       for m in self.mappers}
+        self._hits = 0
+        self._total_pairs = 0
+
+    # ------------------------------------------------------------------
+    def _mapper_process(self, mapper: str, documents: Sequence[str]):
+        stub = self._stubs[mapper]
+        request_type = self.registered.binding("ReduceByKey").request
+        batch: Dict[str, int] = {}
+        batch_size = 0
+        for document in documents:
+            for word in document.split():
+                batch[word] = batch.get(word, 0) + 1
+                batch_size += 1
+                if batch_size >= self.batch_words:
+                    yield from self._flush(stub, request_type, batch)
+                    batch, batch_size = {}, 0
+        if batch:
+            yield from self._flush(stub, request_type, batch)
+
+    def _flush(self, stub, request_type, batch):
+        event = stub.call_async("ReduceByKey", request_type(kvs=dict(batch)))
+        _reply, info = yield event
+        self._hits += info.mapped_pairs
+        self._total_pairs += info.mapped_pairs + info.fallback_pairs
+
+    # ------------------------------------------------------------------
+    def run(self, shards: Dict[str, Sequence[str]], limit: float = 300.0
+            ) -> WordCountResult:
+        """Count words in per-mapper document shards, then query totals."""
+        sim = self.deployment.sim
+        start = sim.now
+        processes = [sim.process(self._mapper_process(m, docs),
+                                 name=f"map-{m}")
+                     for m, docs in shards.items()]
+        sim.run_until(sim.all_of(processes), limit=start + limit)
+        elapsed = sim.now - start
+
+        # Query the aggregate: ask for every word any shard produced.
+        vocabulary = sorted(word_count(
+            doc for docs in shards.values() for doc in docs))
+        query_stub = self._stubs[self.mappers[0]]
+        query_type = self.registered.binding("Query").request
+        counts: Dict[str, int] = {}
+        for begin in range(0, len(vocabulary), 512):
+            chunk = vocabulary[begin:begin + 512]
+            reply, _ = query_stub.call(
+                "Query", query_type(kvs={w: 0 for w in chunk}),
+                timeout=limit)
+            counts.update(reply.kvs)
+        chr_value = self._hits / self._total_pairs if self._total_pairs \
+            else 0.0
+        n_docs = sum(len(d) for d in shards.values())
+        return WordCountResult(counts=counts, elapsed_s=elapsed,
+                               cache_hit_ratio=chr_value,
+                               documents=n_docs)

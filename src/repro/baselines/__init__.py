@@ -1,0 +1,27 @@
+"""Behavioural models of the paper's comparison systems (Table 3).
+
+Each baseline implements the mechanism that differentiates its measured
+behaviour: SwitchML's in-order slot pool, ATP's server-ACK windows,
+BytePS's software parameter servers, P4xos's in-switch acceptors,
+libpaxos/DPDK-paxos's host-side message flow, ElasticSketch's two-part
+sketch, ASK's hash-addressed cache, and a software-only NetRPC stack as
+the pure-DPDK baseline.
+"""
+
+from .aggregation import (
+    AggChunkPacket,
+    AggregationJob,
+    BaselineAggSwitch,
+    build_aggregation_job,
+)
+from .paxos import P4xosCluster, PaxosBaselineReport, SoftwarePaxosCluster
+from .sketch import ElasticSketch, SketchPacket, SketchSwitch
+from .wrappers import ask_programs, register_ask, register_software_inc
+
+__all__ = [
+    "AggregationJob", "AggChunkPacket", "BaselineAggSwitch",
+    "build_aggregation_job",
+    "P4xosCluster", "SoftwarePaxosCluster", "PaxosBaselineReport",
+    "ElasticSketch", "SketchSwitch", "SketchPacket",
+    "register_ask", "register_software_inc", "ask_programs",
+]

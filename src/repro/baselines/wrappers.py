@@ -1,0 +1,49 @@
+"""Thin baselines built by reconfiguring the NetRPC stack itself.
+
+* **ASK** — in-network aggregation for key-value streams with
+  hash-addressed switch memory: NetRPC's AsyncAgtr machinery running the
+  ``hash`` cache policy (collisions fall back to the server forever, no
+  periodic adaptation) — the distinguishing property Figure 12 measures.
+* **Pure-DPDK software INC** — the same applications registered in
+  software-only mode: every primitive executes on the server agent, the
+  paper's "pure software version as baselines using DPDK".
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.control import Deployment
+from repro.protocol import CntFwdSpec, ForwardTarget, RIPProgram
+
+__all__ = ["register_ask", "register_software_inc", "ask_programs"]
+
+
+def ask_programs(app_name: str = "ASK") -> List[RIPProgram]:
+    """ASK's reduce/query pair (aggregation service for kv streams)."""
+    return [
+        RIPProgram(app_name=app_name, add_to_field="Reduce.kvs",
+                   cntfwd=CntFwdSpec(target=ForwardTarget.SRC)),
+        RIPProgram(app_name=app_name, get_field="Query.kvs",
+                   cntfwd=CntFwdSpec(target=ForwardTarget.SRC)),
+    ]
+
+
+def register_ask(deployment: Deployment, server: str,
+                 clients: Sequence[str], value_slots: int = 65536,
+                 app_name: str = "ASK"):
+    """Register an ASK-style aggregation app (hash-addressed cache)."""
+    return deployment.controller.register(
+        ask_programs(app_name), server=server, clients=list(clients),
+        value_slots=value_slots, cache_policy="hash")
+
+
+def register_software_inc(deployment: Deployment, server: str,
+                          clients: Sequence[str],
+                          programs: Optional[List[RIPProgram]] = None,
+                          app_name: str = "SW-INC"):
+    """Register an application that runs every RIP on the server agent."""
+    programs = programs or ask_programs(app_name)
+    return deployment.controller.register(
+        programs, server=server, clients=list(clients), value_slots=0,
+        software_only=True)

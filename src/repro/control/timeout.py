@@ -1,0 +1,80 @@
+"""The two-level timeout that prevents switch memory leaks (paper §5.2.2).
+
+The controller polls each switch for per-GAID last-seen timestamps.  A
+stale timestamp triggers the *first-level* timeout: the server agent
+retrieves the application's INC map from the switch (registers are
+small and precious, so this happens quickly).  If the application stays
+silent past the *second-level* timeout, the server agent hands the
+saved data to the user stub — or drops it when the stub is gone.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.netsim import Calibration, DEFAULT_CALIBRATION, Simulator
+
+from .controller import Controller
+
+__all__ = ["TimeoutMonitor"]
+
+
+class TimeoutMonitor:
+    """Polls switches and drives the two timeout levels."""
+
+    def __init__(self, sim: Simulator, controller: Controller,
+                 cal: Calibration = DEFAULT_CALIBRATION,
+                 on_expire: Optional[Callable[[str, dict], None]] = None):
+        self.sim = sim
+        self.controller = controller
+        self.cal = cal
+        self.on_expire = on_expire
+        self.events: list = []                 # (time, level, app_name)
+        self._first_fired_at: Dict[str, float] = {}
+        self._expired: set = set()
+        self._process = sim.process(self._run(), name="timeout-monitor")
+
+    def _run(self):
+        while True:
+            yield self.sim.timeout(self.cal.controller_poll_interval_s)
+            self._poll_once()
+
+    def _poll_once(self) -> None:
+        now = self.sim.now
+        stamps = self.controller.poll_switch_timestamps()
+        for app_name in self.controller.registered_apps():
+            if app_name in self._expired:
+                continue
+            registration = self.controller.lookup(app_name)
+            last_seen = max((stamps.get(g, 0.0) for g in registration.gaids),
+                            default=0.0)
+            first_at = self._first_fired_at.get(app_name)
+            if first_at is None:
+                if now - last_seen >= self.cal.first_level_timeout_s:
+                    self._fire_first(app_name, now)
+            else:
+                if last_seen > first_at:
+                    # The app spoke again; re-arm the first level.
+                    del self._first_fired_at[app_name]
+                elif now - first_at >= self.cal.second_level_timeout_s:
+                    self._fire_second(app_name, now)
+
+    def _fire_first(self, app_name: str, now: float) -> None:
+        agent = self.controller.server_agent_for(app_name)
+        retrieved = agent.retrieve_app(app_name)
+        self._first_fired_at[app_name] = now
+        self.events.append((now, 1, app_name, retrieved))
+
+    def _fire_second(self, app_name: str, now: float) -> None:
+        agent = self.controller.server_agent_for(app_name)
+        saved = agent.expire_app(app_name)
+        self._expired.add(app_name)
+        self.events.append((now, 2, app_name, len(saved)))
+        if self.on_expire is not None:
+            self.on_expire(app_name, saved)
+
+    def first_level_fired(self, app_name: str) -> bool:
+        return app_name in self._first_fired_at or app_name in self._expired
+
+    def second_level_fired(self, app_name: str) -> bool:
+        return app_name in self._expired

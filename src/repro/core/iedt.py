@@ -1,0 +1,125 @@
+"""INC-enabled data types (IEDTs), paper §4.
+
+IEDTs are the field types NetRPC recognises and processes in the
+network: floating-point/integer arrays and string/integer-keyed maps.
+Everything else in a message is a plain gRPC field that rides along as
+opaque payload.
+
+Each IEDT knows how to turn a Python value into the INC layer's
+``(key, int32)`` item stream (quantizing floats with the application's
+precision) and back.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, List, Tuple
+
+from repro.protocol import Quantizer
+
+__all__ = ["IEDTKind", "IEDT_TYPES", "is_iedt", "iedt_kind",
+           "encode_items", "decode_items", "default_value"]
+
+
+class IEDTKind(enum.Enum):
+    """The collection shapes NetRPC can process in-network (Table 1)."""
+
+    FP_ARRAY = "netrpc.FPArray"        # float values, integer indices
+    INT_ARRAY = "netrpc.INT32Array"    # int32 values, integer indices
+    STR_INT_MAP = "netrpc.STRINTMap"   # string keys -> int32 values
+    INT_INT_MAP = "netrpc.INTINTMap"   # integer keys -> int32 values
+    FP_MAP = "netrpc.STRFPMap"         # string keys -> float values
+
+    @property
+    def is_array(self) -> bool:
+        return self in (IEDTKind.FP_ARRAY, IEDTKind.INT_ARRAY)
+
+    @property
+    def is_map(self) -> bool:
+        return not self.is_array
+
+    @property
+    def is_float(self) -> bool:
+        return self in (IEDTKind.FP_ARRAY, IEDTKind.FP_MAP)
+
+
+IEDT_TYPES: Dict[str, IEDTKind] = {kind.value: kind for kind in IEDTKind}
+
+
+def is_iedt(type_name: str) -> bool:
+    return type_name in IEDT_TYPES
+
+
+def iedt_kind(type_name: str) -> IEDTKind:
+    try:
+        return IEDT_TYPES[type_name]
+    except KeyError:
+        raise ValueError(f"{type_name!r} is not an INC-enabled data type; "
+                         f"known IEDTs: {sorted(IEDT_TYPES)}") from None
+
+
+def default_value(kind: IEDTKind) -> Any:
+    return [] if kind.is_array else {}
+
+
+def encode_items(kind: IEDTKind, value: Any, quantizer: Quantizer
+                 ) -> Tuple[List[Tuple[Any, int]], int]:
+    """Convert an IEDT field value into INC stream items.
+
+    Returns ``(items, precheck_overflows)`` where items are
+    ``(key_or_index, int32_value)`` pairs and the overflow count reports
+    values the quantizer could not fit (the agent routes whole chunks
+    through the server when the switch reports overflow, so a saturated
+    encoding is still corrected downstream — but callers may want to
+    warn).
+    """
+    overflows = 0
+    items: List[Tuple[Any, int]] = []
+    if kind.is_array:
+        for index, element in enumerate(value):
+            fixed, over = _encode_one(kind, element, quantizer)
+            overflows += over
+            items.append((index, fixed))
+        return items, overflows
+    for key, element in value.items():
+        _check_key(kind, key)
+        fixed, over = _encode_one(kind, element, quantizer)
+        overflows += over
+        items.append((key, fixed))
+    return items, overflows
+
+
+def decode_items(kind: IEDTKind, values: Dict[Any, int],
+                 quantizer: Quantizer, length: int = 0) -> Any:
+    """Convert INC result values back into an IEDT field value."""
+    if kind.is_array:
+        out = []
+        for index in range(length):
+            fixed = values.get(index, 0)
+            out.append(quantizer.decode(fixed) if kind.is_float
+                       else int(fixed))
+        return out
+    if kind.is_float:
+        return {key: quantizer.decode(v) for key, v in values.items()}
+    return {key: int(v) for key, v in values.items()}
+
+
+def _encode_one(kind: IEDTKind, element: Any, quantizer: Quantizer
+                ) -> Tuple[int, int]:
+    if kind.is_float:
+        fixed, over = quantizer.encode(float(element))
+        return fixed, int(over)
+    if not isinstance(element, int) or isinstance(element, bool):
+        raise TypeError(f"{kind.value} holds integers, got "
+                        f"{type(element).__name__}")
+    return element, 0
+
+
+def _check_key(kind: IEDTKind, key: Any) -> None:
+    if kind is IEDTKind.INT_INT_MAP:
+        if not isinstance(key, int):
+            raise TypeError(f"{kind.value} keys must be int, got "
+                            f"{type(key).__name__}")
+    elif not isinstance(key, str):
+        raise TypeError(f"{kind.value} keys must be str, got "
+                        f"{type(key).__name__}")

@@ -1,0 +1,294 @@
+"""Message descriptors and dynamic message objects.
+
+A :class:`MessageDescriptor` is built by the IDL parser (one per
+``message`` block); calling it produces :class:`Message` instances with
+attribute access, validation, equality, and a binary wire format.
+
+IEDT fields (``netrpc.FPArray`` etc.) are first-class: the stubs pull
+them out of a message to feed the INC channel, while scalar fields are
+marshalled into the opaque payload.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from . import wire
+from .iedt import IEDTKind, default_value, iedt_kind, is_iedt
+
+__all__ = ["FieldDescriptor", "MessageDescriptor", "Message",
+           "SCALAR_TYPES"]
+
+SCALAR_TYPES = {
+    "int32", "int64", "uint32", "uint64", "sint32", "sint64",
+    "bool", "double", "float", "string", "bytes",
+}
+
+_WIRE_VARINT = 0
+_WIRE_FIXED64 = 1
+_WIRE_BYTES = 2
+
+
+class FieldDescriptor:
+    """One field of a message: name, type, tag."""
+
+    __slots__ = ("name", "type_name", "tag", "kind")
+
+    def __init__(self, name: str, type_name: str, tag: int):
+        if not name.isidentifier():
+            raise ValueError(f"invalid field name {name!r}")
+        if tag < 1:
+            raise ValueError(f"field tags start at 1, got {tag}")
+        if type_name not in SCALAR_TYPES and not is_iedt(type_name):
+            raise ValueError(
+                f"unknown field type {type_name!r} for field {name!r}")
+        self.name = name
+        self.type_name = type_name
+        self.tag = tag
+        self.kind: Optional[IEDTKind] = (
+            iedt_kind(type_name) if is_iedt(type_name) else None)
+
+    @property
+    def is_iedt(self) -> bool:
+        return self.kind is not None
+
+    def default(self) -> Any:
+        if self.kind is not None:
+            return default_value(self.kind)
+        if self.type_name in ("double", "float"):
+            return 0.0
+        if self.type_name == "bool":
+            return False
+        if self.type_name == "string":
+            return ""
+        if self.type_name == "bytes":
+            return b""
+        return 0
+
+    def validate(self, value: Any) -> Any:
+        if self.kind is not None:
+            if self.kind.is_array and not isinstance(value, list):
+                raise TypeError(f"{self.name}: expected list for "
+                                f"{self.type_name}")
+            if self.kind.is_map and not isinstance(value, dict):
+                raise TypeError(f"{self.name}: expected dict for "
+                                f"{self.type_name}")
+            return value
+        expected = {
+            "double": float, "float": float, "bool": bool,
+            "string": str, "bytes": bytes,
+        }.get(self.type_name, int)
+        if expected is float and isinstance(value, int) and \
+                not isinstance(value, bool):
+            return float(value)
+        if expected is int and isinstance(value, bool):
+            raise TypeError(f"{self.name}: expected int, got bool")
+        if not isinstance(value, expected):
+            raise TypeError(
+                f"{self.name}: expected {expected.__name__}, got "
+                f"{type(value).__name__}")
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Field {self.type_name} {self.name} = {self.tag}>"
+
+
+class MessageDescriptor:
+    """A named message type with ordered fields."""
+
+    def __init__(self, name: str, fields: List[FieldDescriptor]):
+        self.name = name
+        self.fields = list(fields)
+        self.by_name = {f.name: f for f in fields}
+        self.by_tag = {f.tag: f for f in fields}
+        if len(self.by_name) != len(fields):
+            raise ValueError(f"duplicate field names in message {name}")
+        if len(self.by_tag) != len(fields):
+            raise ValueError(f"duplicate field tags in message {name}")
+
+    def iedt_fields(self) -> List[FieldDescriptor]:
+        return [f for f in self.fields if f.is_iedt]
+
+    def scalar_fields(self) -> List[FieldDescriptor]:
+        return [f for f in self.fields if not f.is_iedt]
+
+    def __call__(self, **kwargs) -> "Message":
+        return Message(self, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<MessageDescriptor {self.name} ({len(self.fields)} fields)>"
+
+
+class Message:
+    """A dynamic message instance with attribute-style field access."""
+
+    __slots__ = ("_descriptor", "_values")
+
+    def __init__(self, descriptor: MessageDescriptor, **kwargs):
+        object.__setattr__(self, "_descriptor", descriptor)
+        object.__setattr__(self, "_values",
+                           {f.name: f.default() for f in descriptor.fields})
+        for name, value in kwargs.items():
+            setattr(self, name, value)
+
+    @property
+    def descriptor(self) -> MessageDescriptor:
+        return self._descriptor
+
+    def __getattr__(self, name: str) -> Any:
+        values = object.__getattribute__(self, "_values")
+        if name in values:
+            return values[name]
+        raise AttributeError(
+            f"message {self._descriptor.name} has no field {name!r}")
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        field = self._descriptor.by_name.get(name)
+        if field is None:
+            raise AttributeError(
+                f"message {self._descriptor.name} has no field {name!r}")
+        self._values[name] = field.validate(value)
+
+    def __eq__(self, other: Any) -> bool:
+        return (isinstance(other, Message)
+                and other._descriptor.name == self._descriptor.name
+                and other._values == self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = ", ".join(f"{k}={v!r}" for k, v in self._values.items())
+        return f"{self._descriptor.name}({inner})"
+
+    # ------------------------------------------------------------------
+    # wire format
+    # ------------------------------------------------------------------
+    def to_bytes(self, include_iedt: bool = True) -> bytes:
+        """Marshal to the binary wire format.
+
+        ``include_iedt=False`` marshals only the plain gRPC fields — the
+        form the client stub uses for the packet payload while the IEDT
+        fields travel as INC streams.
+        """
+        out = bytearray()
+        for field in self._descriptor.fields:
+            if field.is_iedt and not include_iedt:
+                continue
+            value = self._values[field.name]
+            out += _encode_field(field, value)
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, descriptor: MessageDescriptor, data: bytes
+                   ) -> "Message":
+        msg = cls(descriptor)
+        offset = 0
+        while offset < len(data):
+            header, offset = wire.decode_varint(data, offset)
+            tag, wtype = header >> 3, header & 0x7
+            field = descriptor.by_tag.get(tag)
+            value, offset = _decode_field_value(field, wtype, data, offset)
+            if field is not None:
+                msg._values[field.name] = value
+        return msg
+
+    def byte_size(self, include_iedt: bool = True) -> int:
+        return len(self.to_bytes(include_iedt=include_iedt))
+
+
+# ---------------------------------------------------------------------------
+def _header(tag: int, wtype: int) -> bytes:
+    return wire.encode_varint(tag << 3 | wtype)
+
+
+def _encode_field(field: FieldDescriptor, value: Any) -> bytes:
+    if field.kind is not None:
+        return _header(field.tag, _WIRE_BYTES) + \
+            wire.encode_bytes(_encode_iedt(field.kind, value))
+    t = field.type_name
+    if t in ("double", "float"):
+        return _header(field.tag, _WIRE_FIXED64) + wire.encode_double(value)
+    if t == "string":
+        return _header(field.tag, _WIRE_BYTES) + \
+            wire.encode_bytes(value.encode("utf-8"))
+    if t == "bytes":
+        return _header(field.tag, _WIRE_BYTES) + wire.encode_bytes(value)
+    if t == "bool":
+        return _header(field.tag, _WIRE_VARINT) + \
+            wire.encode_varint(int(value))
+    if t in ("uint32", "uint64"):
+        return _header(field.tag, _WIRE_VARINT) + wire.encode_varint(value)
+    return _header(field.tag, _WIRE_VARINT) + wire.encode_signed(value)
+
+
+def _decode_field_value(field: Optional[FieldDescriptor], wtype: int,
+                        data: bytes, offset: int) -> Tuple[Any, int]:
+    if wtype == _WIRE_VARINT:
+        raw, offset = wire.decode_varint(data, offset)
+        if field is None:
+            return None, offset
+        if field.type_name == "bool":
+            return bool(raw), offset
+        if field.type_name in ("uint32", "uint64"):
+            return raw, offset
+        return wire.unzigzag(raw), offset
+    if wtype == _WIRE_FIXED64:
+        value, offset = wire.decode_double(data, offset)
+        return (value if field is not None else None), offset
+    if wtype == _WIRE_BYTES:
+        blob, offset = wire.decode_bytes(data, offset)
+        if field is None:
+            return None, offset
+        if field.kind is not None:
+            return _decode_iedt(field.kind, blob), offset
+        if field.type_name == "string":
+            return blob.decode("utf-8"), offset
+        return blob, offset
+    raise ValueError(f"unsupported wire type {wtype}")
+
+
+def _encode_iedt(kind: IEDTKind, value: Any) -> bytes:
+    out = bytearray()
+    if kind.is_array:
+        out += wire.encode_varint(len(value))
+        for element in value:
+            if kind.is_float:
+                out += wire.encode_double(float(element))
+            else:
+                out += wire.encode_signed(element)
+        return bytes(out)
+    out += wire.encode_varint(len(value))
+    for key, element in value.items():
+        if kind is IEDTKind.INT_INT_MAP:
+            out += wire.encode_signed(key)
+        else:
+            out += wire.encode_bytes(key.encode("utf-8"))
+        if kind.is_float:
+            out += wire.encode_double(float(element))
+        else:
+            out += wire.encode_signed(element)
+    return bytes(out)
+
+
+def _decode_iedt(kind: IEDTKind, data: bytes) -> Any:
+    count, offset = wire.decode_varint(data, 0)
+    if kind.is_array:
+        out_list = []
+        for _ in range(count):
+            if kind.is_float:
+                element, offset = wire.decode_double(data, offset)
+            else:
+                element, offset = wire.decode_signed(data, offset)
+            out_list.append(element)
+        return out_list
+    out_map: Dict[Any, Any] = {}
+    for _ in range(count):
+        if kind is IEDTKind.INT_INT_MAP:
+            key, offset = wire.decode_signed(data, offset)
+        else:
+            raw, offset = wire.decode_bytes(data, offset)
+            key = raw.decode("utf-8")
+        if kind.is_float:
+            element, offset = wire.decode_double(data, offset)
+        else:
+            element, offset = wire.decode_signed(data, offset)
+        out_map[key] = element
+    return out_map

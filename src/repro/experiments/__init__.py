@@ -1,0 +1,33 @@
+"""Experiment harnesses regenerating every table and figure of §6.
+
+One module per paper artifact; `benchmarks/` wraps these for
+pytest-benchmark and EXPERIMENTS.md records paper-vs-measured values.
+"""
+
+from . import (
+    exp_cache,
+    exp_clear,
+    exp_fairness,
+    exp_loc,
+    exp_loss,
+    exp_micro,
+    exp_multiapp,
+    exp_overflow,
+    exp_paxos,
+    exp_training,
+    exp_twoswitch,
+)
+from .common import (
+    run_async_aggregation,
+    run_sync_aggregation,
+    sync_chunk_latency,
+    voting_delay,
+)
+
+__all__ = [
+    "exp_loc", "exp_training", "exp_paxos", "exp_micro", "exp_fairness",
+    "exp_loss", "exp_overflow", "exp_clear", "exp_cache", "exp_multiapp",
+    "exp_twoswitch",
+    "run_sync_aggregation", "run_async_aggregation", "sync_chunk_latency",
+    "voting_delay",
+]

@@ -1,0 +1,294 @@
+"""Shared measurement harnesses for the paper's evaluation (§6).
+
+Every table/figure benchmark builds on these: synchronous/asynchronous
+aggregation goodput, voting and monitoring latency, and small helpers
+for reporting.  Absolute numbers come from the calibrated simulator;
+benchmarks assert *shape* (orderings, ratios, crossovers), never
+equality with the paper's testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.control import Deployment, build_rack
+from repro.inc import Task
+from repro.netsim import Calibration, RandomLoss, RateMeter, scaled
+from repro.protocol import (
+    INT32_MAX,
+    ClearPolicy,
+    CntFwdSpec,
+    ForwardTarget,
+    RIPProgram,
+)
+
+__all__ = [
+    "CAL",
+    "sync_program", "async_programs", "vote_program",
+    "SyncResult", "run_sync_aggregation", "sync_chunk_latency",
+    "AsyncResult", "run_async_aggregation",
+    "voting_delay", "format_table",
+]
+
+CAL = scaled()
+
+BIG = INT32_MAX - 10   # a value that overflows when two clients add it
+
+
+# ---------------------------------------------------------------------------
+# program factories (the NetFilters behind each app type)
+# ---------------------------------------------------------------------------
+def sync_program(n_clients: int, clear: ClearPolicy = ClearPolicy.COPY,
+                 app_name: str = "SYNC") -> RIPProgram:
+    return RIPProgram(
+        app_name=app_name, get_field="r.t", add_to_field="q.t", clear=clear,
+        cntfwd=CntFwdSpec(target=ForwardTarget.ALL, threshold=n_clients))
+
+
+def async_programs(app_name: str = "ASYNC") -> List[RIPProgram]:
+    return [
+        RIPProgram(app_name=app_name, add_to_field="r.kvs",
+                   cntfwd=CntFwdSpec(target=ForwardTarget.SRC)),
+        RIPProgram(app_name=app_name, get_field="q.kvs",
+                   cntfwd=CntFwdSpec(target=ForwardTarget.SRC)),
+    ]
+
+
+def vote_program(threshold: int, app_name: str = "VOTE") -> RIPProgram:
+    return RIPProgram(
+        app_name=app_name, get_field="v.kvs", add_to_field="v.kvs",
+        cntfwd=CntFwdSpec(target=ForwardTarget.ALL, threshold=threshold))
+
+
+# ---------------------------------------------------------------------------
+# synchronous aggregation
+# ---------------------------------------------------------------------------
+@dataclass
+class SyncResult:
+    goodput_gbps: float              # per-sender payload goodput
+    elapsed_s: float
+    overflow_chunks: int = 0
+    retransmits: int = 0
+    meter: Optional[RateMeter] = None
+
+
+def run_sync_aggregation(n_clients: int = 2, n_values: int = 128_000,
+                         clear: ClearPolicy = ClearPolicy.COPY,
+                         loss: float = 0.0, seed: int = 0,
+                         cal: Calibration = CAL, cc_enabled: bool = True,
+                         overflow_ratio: float = 0.0,
+                         value_slots: int = 262_144,
+                         deployment: Optional[Deployment] = None,
+                         limit: float = 120.0) -> SyncResult:
+    """One SyncAgtr round of ``n_values`` per client; per-sender goodput."""
+    if deployment is None:
+        loss_factory = (lambda: RandomLoss(loss)) if loss else None
+        deployment = build_rack(n_clients, 1, cal=cal, seed=seed,
+                                loss_factory=loss_factory)
+    (config,) = deployment.controller.register(
+        [sync_program(n_clients, clear)], server=deployment.server_name,
+        clients=deployment.client_names[:n_clients],
+        value_slots=value_slots, counter_slots=16_384, linear=True,
+        cc_enabled=cc_enabled)
+    start = deployment.sim.now
+    # Overflow chunks are drawn once per chunk (not per client): an
+    # accumulator only overflows when every contributor carries the
+    # near-max value, like a badly scaled gradient coordinate.
+    overflow_chunks = set()
+    if overflow_ratio > 0:
+        import random as _random
+        chunk_rng = _random.Random(seed + 77)
+        for chunk_start in range(0, n_values, 32):
+            if chunk_rng.random() < overflow_ratio:
+                overflow_chunks.add(chunk_start)
+    events = []
+    for index in range(n_clients):
+        if overflow_chunks:
+            items = []
+            for chunk_start in range(0, n_values, 32):
+                value = BIG if chunk_start in overflow_chunks else 1
+                items.extend((chunk_start + j, value) for j in range(32))
+            items = items[:n_values]
+        else:
+            items = [(j, 1) for j in range(n_values)]
+        task = Task(app=config, round=0, items=items, expect_result=True)
+        events.append(deployment.client_agent(index).submit(task))
+    results = [deployment.sim.run_until(e, limit=start + limit)
+               for e in events]
+    elapsed = deployment.sim.now - start
+    payload_bits = n_values * 4 * 8
+    agent0 = deployment.client_agent(0)
+    retx = sum(f.stats["retransmits"]
+               for f in agent0.app_state(config.program.app_name).flows)
+    return SyncResult(
+        goodput_gbps=payload_bits / elapsed / 1e9,
+        elapsed_s=elapsed,
+        overflow_chunks=sum(r.overflow_chunks for r in results),
+        retransmits=retx)
+
+
+def sync_chunk_latency(n_clients: int = 2,
+                       clear: ClearPolicy = ClearPolicy.COPY,
+                       rounds: int = 20, cal: Calibration = CAL,
+                       overflow_ratio: float = 0.0, seed: int = 0) -> float:
+    """Mean completion latency of a single 32-value chunk (Table 6)."""
+    deployment = build_rack(n_clients, 1, cal=cal, seed=seed)
+    (config,) = deployment.controller.register(
+        [sync_program(n_clients, clear)], server="s0",
+        clients=deployment.client_names[:n_clients],
+        value_slots=4096, counter_slots=512, linear=True)
+    rng = deployment.sim.rng
+    samples = []
+    for round_no in range(rounds):
+        value = BIG if rng.random() < overflow_ratio else 1
+        start = deployment.sim.now
+        events = [deployment.client_agent(i).submit(
+            Task(app=config, round=round_no,
+                 items=[(j, value) for j in range(32)],
+                 expect_result=True))
+            for i in range(n_clients)]
+        for event in events:
+            deployment.sim.run_until(event, limit=start + 10.0)
+        samples.append(deployment.sim.now - start)
+        deployment.sim.run(until=deployment.sim.now + 1e-4)
+    return sum(samples) / len(samples)
+
+
+# ---------------------------------------------------------------------------
+# asynchronous (keyed) aggregation
+# ---------------------------------------------------------------------------
+@dataclass
+class AsyncResult:
+    goodput_gbps: float
+    cache_hit_ratio: float
+    elapsed_s: float
+    distinct_keys: int
+
+
+def run_async_aggregation(n_clients: int = 2, distinct_keys: int = 4096,
+                          repeats: int = 4, cache_policy: str = "netrpc",
+                          value_slots: int = 65_536, seed: int = 0,
+                          cal: Calibration = CAL, zipf_s: float = 0.0,
+                          software_only: bool = False,
+                          deployment: Optional[Deployment] = None,
+                          app_name: str = "ASYNC", phases: int = 1,
+                          limit: float = 240.0) -> AsyncResult:
+    """Loop ``distinct_keys`` keys ``repeats`` times through Map.addTo.
+
+    The §6.6 workload: a cache smaller than the key set suffers misses.
+    ``phases > 1`` rotates which keys are hot partway through the stream
+    (the dynamic popularity that separates adaptive cache policies from
+    FCFS in Figure 12).  Returns per-sender goodput and the
+    client-observed cache hit ratio.
+    """
+    if deployment is None:
+        deployment = build_rack(n_clients, 1, cal=cal, seed=seed)
+    reduce_cfg, _query_cfg = deployment.controller.register(
+        async_programs(app_name), server=deployment.server_name,
+        clients=deployment.client_names[:n_clients],
+        value_slots=value_slots, cache_policy=cache_policy,
+        software_only=software_only)
+    total = distinct_keys * repeats
+    per_phase = max(1, total // max(1, phases))
+    if zipf_s > 0:
+        from repro.workloads import ZipfGenerator
+        sampler = ZipfGenerator(distinct_keys, s=zipf_s, seed=seed)
+        key_stream = []
+        for position in range(total):
+            phase = min(position // per_phase, phases - 1)
+            rank = sampler.sample_index()
+            actual = (rank + phase * (distinct_keys // max(1, phases))) \
+                % distinct_keys
+            key_stream.append(f"key-{actual}")
+    else:
+        key_stream = [f"key-{i % distinct_keys}" for i in range(total)]
+
+    sim = deployment.sim
+    start = sim.now
+    mapped_total = 0
+    fallback_total = 0
+
+    def collect(event):
+        nonlocal mapped_total, fallback_total
+        if event.ok and event.value is not None:
+            mapped_total += event.value.mapped_pairs
+            fallback_total += event.value.fallback_pairs
+
+    def client_proc(agent, keys):
+        # Pipeline several outstanding calls (the agent's worker threads
+        # drain them concurrently, §4's automatic data parallelism).
+        batch, inflight = 1024, []
+        for begin in range(0, len(keys), batch):
+            task = Task(app=reduce_cfg,
+                        items=[(k, 1) for k in keys[begin:begin + batch]],
+                        expect_result=False)
+            event = agent.submit(task)
+            event.add_callback(collect)
+            inflight.append(event)
+            if len(inflight) >= 8:
+                yield inflight.pop(0)
+        for event in inflight:
+            yield event
+
+    processes = [sim.process(
+        client_proc(deployment.client_agent(i), list(key_stream)),
+        name=f"async-{i}") for i in range(n_clients)]
+    sim.run_until(sim.all_of(processes), limit=start + limit)
+    elapsed = sim.now - start
+    payload_bits = len(key_stream) * 8 * 8   # key + value per pair
+    total = mapped_total + fallback_total
+    return AsyncResult(
+        goodput_gbps=payload_bits / elapsed / 1e9,
+        cache_hit_ratio=mapped_total / total if total else 0.0,
+        elapsed_s=elapsed, distinct_keys=distinct_keys)
+
+
+# ---------------------------------------------------------------------------
+# voting latency
+# ---------------------------------------------------------------------------
+def voting_delay(n_voters: int = 3, rounds: int = 30,
+                 cal: Calibration = CAL,
+                 software_only: bool = False, seed: int = 0) -> float:
+    """Mean time for a voting round to reach all clients (Table 5).
+
+    Ballots are index-addressed (one counter register per round, like
+    the Paxos application), so steady-state votes take the pure switch
+    path.
+    """
+    deployment = build_rack(n_voters, 1, cal=cal, seed=seed)
+    (config,) = deployment.controller.register(
+        [vote_program(n_voters)], server="s0",
+        clients=deployment.client_names[:n_voters],
+        value_slots=4096, counter_slots=4096, linear=True,
+        software_only=software_only)
+    sim = deployment.sim
+    samples = []
+    for round_no in range(rounds):
+        start = sim.now
+        events = [deployment.client_agent(i).submit(
+            Task(app=config, round=round_no, items=[(round_no, 1)],
+                 expect_result=True, indexed=True))
+            for i in range(n_voters)]
+        for event in events:
+            sim.run_until(event, limit=start + 10.0)
+        samples.append(sim.now - start)
+        sim.run(until=sim.now + 1e-4)
+    steady = samples[1:] or samples
+    return sum(steady) / len(steady)
+
+
+# ---------------------------------------------------------------------------
+# reporting helpers
+# ---------------------------------------------------------------------------
+def format_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width table used by every benchmark's printed output."""
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows))
+              for i, h in enumerate(headers)]
+    lines = [f"== {title} =="]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        lines.append("  ".join(str(c).ljust(w)
+                               for c, w in zip(row, widths)))
+    return "\n".join(lines)

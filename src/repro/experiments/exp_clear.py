@@ -1,0 +1,53 @@
+"""Table 6: the clear-policy latency/memory/throughput trade-off.
+
+2-to-1 SyncAggr under the three Map.clear policies (§5.2.2):
+
+* copy   — highest latency (server detour) but full throughput and 1x
+           memory;
+* shadow — low latency, 2x memory, lowest throughput (recirculating
+           mirror clears);
+* lazy   — low latency and full throughput at 0% overflow, degrading as
+           the overflow ratio grows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.protocol import ClearPolicy
+
+from .common import format_table, run_sync_aggregation, sync_chunk_latency
+
+__all__ = ["run"]
+
+_CONFIGS = [
+    ("copy", ClearPolicy.COPY, 0.0),
+    ("shadow", ClearPolicy.SHADOW, 0.0),
+    ("lazy (0%)", ClearPolicy.LAZY, 0.0),
+    ("lazy (1%)", ClearPolicy.LAZY, 0.01),
+    ("lazy (10%)", ClearPolicy.LAZY, 0.10),
+]
+
+
+def run(fast: bool = True, seed: int = 0) -> dict:
+    """Regenerate Table 6."""
+    n_values = 64_000 if fast else 256_000
+    results: Dict[str, dict] = {}
+    for label, policy, overflow in _CONFIGS:
+        latency = sync_chunk_latency(clear=policy, overflow_ratio=overflow,
+                                     seed=seed)
+        goodput = run_sync_aggregation(
+            n_values=n_values, clear=policy, overflow_ratio=overflow,
+            seed=seed).goodput_gbps
+        memory = "2x" if policy is ClearPolicy.SHADOW else "1x"
+        results[label] = {"latency_s": latency, "memory": memory,
+                          "goodput_gbps": goodput}
+    rows = [[label,
+             f"{r['latency_s'] * 1e6:.1f} us",
+             r["memory"],
+             f"{r['goodput_gbps']:.2f} Gbps"]
+            for label, r in results.items()]
+    table = format_table("Table 6: clear policy impact",
+                         ["policy", "latency", "memory", "throughput"],
+                         rows)
+    return {"results": results, "table": table}

@@ -1,0 +1,133 @@
+"""Figures 8 and 9: congestion-control fairness and loss avoidance.
+
+A SyncAggr and an AsyncAggr application share the same dataplane (same
+switch, same client hosts, same links).  Figure 8 plots each app's
+goodput over time — they must converge quickly and share the bottleneck
+fairly.  Figure 9 compares packet-loss ratio over time with congestion
+control on and off.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.control import build_rack
+from repro.inc import Task
+from repro.netsim import RateMeter
+
+from .common import CAL, async_programs, format_table, sync_program
+
+__all__ = ["run_fairness", "run_cc_loss", "jain_fairness"]
+
+
+def jain_fairness(shares: List[float]) -> float:
+    """Jain's fairness index: 1.0 = perfectly fair."""
+    if not shares or all(s == 0 for s in shares):
+        return 0.0
+    return sum(shares) ** 2 / (len(shares) * sum(s * s for s in shares))
+
+
+def _shared_dataplane(cc_enabled: bool, seed: int, duration_s: float,
+                      bucket_s: float):
+    """Run SyncAggr + AsyncAggr concurrently on one dataplane."""
+    deployment = build_rack(2, 1, cal=CAL, seed=seed)
+    sim = deployment.sim
+    (sync_cfg,) = deployment.controller.register(
+        [sync_program(2, app_name="SYNC")], server="s0",
+        clients=["c0", "c1"], value_slots=262_144, counter_slots=16_384,
+        linear=True, cc_enabled=cc_enabled)
+    async_cfg, _ = deployment.controller.register(
+        async_programs("ASYNC"), server="s0", clients=["c0", "c1"],
+        value_slots=65_536, cc_enabled=cc_enabled)
+
+    meters = {"sync": RateMeter(bucket_s=bucket_s),
+              "async": RateMeter(bucket_s=bucket_s)}
+    # Wire bytes per kv pair: linear packets elide keys (192B/32 pairs),
+    # keyed packets carry them (~312B/32 pairs).
+    for name, app_key, bytes_per_pair in (("sync", "SYNC", 6.0),
+                                          ("async", "ASYNC", 9.75)):
+        for index in range(2):
+            state = deployment.client_agent(index).app_state(app_key)
+            state.resolve_listener = (
+                lambda pairs, m=meters[name], b=bytes_per_pair:
+                m.record(sim.now, pairs * b))
+
+    def sync_source(agent):
+        round_no = 0
+        while sim.now < duration_s:
+            task = Task(app=sync_cfg, round=round_no,
+                        items=[(j, 1) for j in range(32_000)],
+                        expect_result=True)
+            yield agent.submit(task)
+            round_no += 1
+
+    def async_source(agent, client_index):
+        batch_index = 0
+        inflight = []
+        while sim.now < duration_s:
+            keys = [(f"k{client_index}-{(batch_index * 1024 + j) % 4096}", 1)
+                    for j in range(1024)]
+            inflight.append(agent.submit(
+                Task(app=async_cfg, items=keys, expect_result=False)))
+            batch_index += 1
+            if len(inflight) >= 8:
+                yield inflight.pop(0)
+        for event in inflight:
+            yield event
+
+    processes = []
+    for index in range(2):
+        agent = deployment.client_agent(index)
+        processes.append(sim.process(sync_source(agent),
+                                     name=f"sync-{index}"))
+        processes.append(sim.process(async_source(agent, index),
+                                     name=f"async-{index}"))
+    sim.run_until(sim.all_of(processes), limit=duration_s * 20)
+    return deployment, meters
+
+
+def run_fairness(duration_s: float = 2e-3, seed: int = 0,
+                 bucket_s: float = 1e-4) -> dict:
+    """Regenerate Figure 8: per-app goodput series and fairness."""
+    deployment, meters = _shared_dataplane(True, seed, duration_s, bucket_s)
+    # Steady-state window, per shared client uplink (both apps send from
+    # the same two hosts; each host's 100G NIC is the contended link).
+    start = duration_s / 2
+    sync_gbps = meters["sync"].average_gbps(start, duration_s) / 2
+    async_gbps = meters["async"].average_gbps(start, duration_s) / 2
+    combined = sync_gbps + async_gbps
+    fairness = jain_fairness([sync_gbps, async_gbps])
+    series = {name: meter.series() for name, meter in meters.items()}
+    rows = [["SyncAggr", f"{sync_gbps:.2f}"],
+            ["AsyncAggr", f"{async_gbps:.2f}"],
+            ["combined", f"{combined:.2f}"],
+            ["link share", f"{combined / 100.0:.0%}"],
+            ["Jain fairness", f"{fairness:.3f}"]]
+    table = format_table(
+        "Figure 8: wire Gbps per shared client uplink",
+        ["metric", "Gbps"], rows)
+    return {"sync_gbps": sync_gbps, "async_gbps": async_gbps,
+            "combined_gbps": combined, "fairness": fairness,
+            "series": series, "table": table}
+
+
+def run_cc_loss(duration_s: float = 1.5e-3, seed: int = 0) -> dict:
+    """Regenerate Figure 9: loss ratio with and without CC."""
+    out: Dict[str, float] = {}
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for label, cc_enabled in (("with-cc", True), ("without-cc", False)):
+        deployment, _ = _shared_dataplane(cc_enabled, seed, duration_s,
+                                          1e-4)
+        offered = drops = 0
+        for link in deployment.topology.links.values():
+            stats = link.stats
+            offered += stats["offered_pkts"]
+            drops += stats["queue_drops"] + stats["wire_drops"]
+        out[label] = drops / offered if offered else 0.0
+    rows = [[label, f"{ratio:.3%}"] for label, ratio in out.items()]
+    reduction = (1 - out["with-cc"] / out["without-cc"]) \
+        if out["without-cc"] else 0.0
+    rows.append(["loss reduction", f"{reduction:.0%}"])
+    table = format_table("Figure 9: packet loss with/without CC",
+                         ["setting", "loss ratio"], rows)
+    return {"loss": out, "reduction": reduction, "table": table}

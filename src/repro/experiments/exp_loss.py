@@ -1,0 +1,59 @@
+"""Figure 10: packet loss rate vs normalized throughput.
+
+NetRPC, ATP, and SwitchML under injected random loss.  All three must
+stay correct (verified by the test suite); the figure compares how
+gracefully throughput degrades.  NetRPC's out-of-order selective ACKs
+and ECN-only congestion interpretation give it the flattest curve; ATP
+reacts to timeouts; SwitchML's in-order slot pool head-of-line blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.baselines import build_aggregation_job
+from repro.netsim import RandomLoss
+
+from .common import CAL, format_table, run_sync_aggregation
+
+__all__ = ["run", "LOSS_RATES"]
+
+LOSS_RATES = (0.0, 0.001, 0.005, 0.01)
+
+
+def _netrpc(loss: float, n_values: int, seed: int) -> float:
+    return run_sync_aggregation(n_values=n_values, loss=loss,
+                                seed=seed).goodput_gbps
+
+
+def _baseline(kind: str, loss: float, chunks: int, seed: int) -> float:
+    loss_factory = (lambda: RandomLoss(loss)) if loss else None
+    job = build_aggregation_job(kind, n_workers=2, total_chunks=chunks,
+                                cal=CAL, seed=seed,
+                                loss_factory=loss_factory)
+    return job.run(limit=240.0)
+
+
+def run(fast: bool = True, seed: int = 5) -> dict:
+    """Regenerate Figure 10; returns absolute and normalized curves."""
+    n_values = 64_000 if fast else 128_000
+    chunks = n_values // 32
+    absolute: Dict[str, List[float]] = {"NetRPC": [], "ATP": [],
+                                        "SwitchML": []}
+    for loss in LOSS_RATES:
+        absolute["NetRPC"].append(_netrpc(loss, n_values, seed))
+        absolute["ATP"].append(_baseline("atp", loss, chunks, seed))
+        absolute["SwitchML"].append(_baseline("switchml", loss, chunks,
+                                              seed))
+    normalized = {system: [v / curve[0] for v in curve]
+                  for system, curve in absolute.items()}
+    rows = []
+    for index, loss in enumerate(LOSS_RATES):
+        rows.append([f"{loss:.3%}"] +
+                    [f"{absolute[s][index]:.1f} ({normalized[s][index]:.2f})"
+                     for s in ("NetRPC", "ATP", "SwitchML")])
+    table = format_table(
+        "Figure 10: loss rate vs goodput Gbps (normalized)",
+        ["loss", "NetRPC", "ATP", "SwitchML"], rows)
+    return {"absolute": absolute, "normalized": normalized,
+            "loss_rates": LOSS_RATES, "table": table}

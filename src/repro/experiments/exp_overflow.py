@@ -1,0 +1,45 @@
+"""Figure 11: arithmetic overflow ratio vs throughput.
+
+SyncAggr with a controlled fraction of chunks carrying near-INT32_MAX
+values: the switch clamps, clients replay those chunks raw, and the
+server computes the exact result in 64-bit software (§5.2.1).  The
+throughput must degrade smoothly with the overflow ratio while the pure
+software baseline stays flat (and lower at the INC side's no-overflow
+end).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.baselines import build_aggregation_job
+
+from .common import CAL, format_table, run_sync_aggregation
+
+__all__ = ["run", "OVERFLOW_RATIOS"]
+
+OVERFLOW_RATIOS = (0.0, 0.00001, 0.0001, 0.001, 0.01)
+
+
+def run(fast: bool = True, seed: int = 3) -> dict:
+    """Regenerate Figure 11."""
+    n_values = 64_000 if fast else 128_000
+    curve: List[float] = []
+    overflow_seen: List[int] = []
+    for ratio in OVERFLOW_RATIOS:
+        result = run_sync_aggregation(n_values=n_values,
+                                      overflow_ratio=ratio, seed=seed)
+        curve.append(result.goodput_gbps)
+        overflow_seen.append(result.overflow_chunks)
+    software = build_aggregation_job("byteps", 2, n_values // 32,
+                                     cal=CAL).run()
+    rows = [[f"{ratio:.3%}", f"{gbps:.2f}", chunks]
+            for ratio, gbps, chunks in zip(OVERFLOW_RATIOS, curve,
+                                           overflow_seen)]
+    rows.append(["software", f"{software:.2f}", "-"])
+    table = format_table(
+        "Figure 11: overflow ratio vs goodput (Gbps)",
+        ["overflow ratio", "NetRPC", "overflow chunks"], rows)
+    return {"ratios": OVERFLOW_RATIOS, "goodput": curve,
+            "overflow_chunks": overflow_seen, "software": software,
+            "table": table}

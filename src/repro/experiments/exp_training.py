@@ -1,0 +1,59 @@
+"""Figure 6: deep-learning training speed per worker.
+
+Methodology: measure each system's steady-state aggregation goodput on
+the simulated dataplane, then compose per-model training speed as
+``batch / (compute_time + gradient_bits / goodput)`` — the PushPull
+iteration structure of the paper's BytePS-based deployment (no
+compute/communication overlap, as in §6.3's setup).  The DNN profiles
+substitute the GPU testbed (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.baselines import build_aggregation_job
+from repro.workloads import MODELS
+
+from .common import CAL, format_table, run_sync_aggregation
+
+__all__ = ["run", "SYSTEMS"]
+
+SYSTEMS = ("NetRPC", "ATP", "SwitchML", "BytePS")
+
+
+def measure_goodputs(n_workers: int = 8, fast: bool = True
+                     ) -> Dict[str, float]:
+    """Per-sender aggregation goodput (Gbps) for each system."""
+    chunks = 2000 if fast else 8000
+    values = chunks * 32
+    goodputs = {"NetRPC": run_sync_aggregation(
+        n_clients=min(n_workers, 4), n_values=values).goodput_gbps}
+    for kind, label in (("atp", "ATP"), ("switchml", "SwitchML"),
+                        ("byteps", "BytePS")):
+        job = build_aggregation_job(kind, n_workers=min(n_workers, 4),
+                                    total_chunks=chunks, cal=CAL)
+        goodputs[label] = job.run()
+    return goodputs
+
+
+def training_speed(model_name: str, goodput_gbps: float) -> float:
+    """images/s/worker for a model at a given aggregation goodput."""
+    model = MODELS[model_name]
+    comm_s = model.gradient_bytes * 8 / (goodput_gbps * 1e9)
+    return model.samples_per_iteration / (model.compute_s + comm_s)
+
+
+def run(fast: bool = True) -> dict:
+    """Regenerate Figure 6; returns {model: {system: images/s}}."""
+    goodputs = measure_goodputs(fast=fast)
+    speeds: Dict[str, Dict[str, float]] = {}
+    for model_name in ("VGG16", "AlexNet", "ResNet50"):
+        speeds[model_name] = {
+            system: training_speed(model_name, goodputs[system])
+            for system in SYSTEMS}
+    rows = [[model] + [f"{speeds[model][s]:.1f}" for s in SYSTEMS]
+            for model in speeds]
+    table = format_table("Figure 6: training speed (images/s/worker)",
+                         ["model", *SYSTEMS], rows)
+    return {"speeds": speeds, "goodputs": goodputs, "table": table}

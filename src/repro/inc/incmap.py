@@ -1,0 +1,100 @@
+"""The software INC map: the host agents' fallback executor (§3.2, §5.2.1).
+
+Host agents "emulate all switch operations in software and thus can
+always provide correct INC results to the RPCLayer regardless of the
+switch's ability or resource".  This class implements the five RIPs
+over 64-bit integers (no saturation), keyed by the application's
+original keys, and is used for:
+
+* keys without a physical mapping (cache misses / collisions);
+* overflow recovery (exact re-execution of clamped packets);
+* deployments with no programmable switch at all.
+
+It is also the reference model property-based tests compare the switch
+dataplane against.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Tuple
+
+from repro.protocol import StreamOp, apply_stream_op
+
+__all__ = ["SoftwareINCMap"]
+
+
+class SoftwareINCMap:
+    """Exact software implementation of the INC map primitives."""
+
+    def __init__(self):
+        self._values: Dict[Any, int] = {}
+        self._counters: Dict[Any, int] = {}
+
+    # ------------------------------------------------------------------
+    # Map primitives (Table 2 semantics, unbounded precision)
+    # ------------------------------------------------------------------
+    def add_to(self, key: Any, value: int) -> int:
+        """Map.addTo: accumulate; returns the new total."""
+        total = self._values.get(key, 0) + value
+        self._values[key] = total
+        return total
+
+    def get(self, key: Any) -> int:
+        """Map.get: read (0 for absent keys, like a cleared register)."""
+        return self._values.get(key, 0)
+
+    def clear(self, key: Any) -> int:
+        """Map.clear: zero the entry; returns the value it held."""
+        return self._values.pop(key, 0)
+
+    def modify(self, op: StreamOp, values: Iterable[int], para: int
+               ) -> List[int]:
+        """Stream.modify applied to a value stream (no map access)."""
+        return [apply_stream_op(op, v, para)[0] for v in values]
+
+    def count_forward(self, key: Any, threshold: int) -> bool:
+        """CntFwd: increment and report whether the threshold was reached.
+
+        Mirrors the switch semantics: exact-equality comparison, and
+        multi-party counters (threshold > 1) re-arm on a hit while
+        test&set counters persist until cleared.
+        """
+        if threshold <= 0:
+            return True
+        count = self._counters.get(key, 0) + 1
+        self._counters[key] = count
+        if count == threshold:
+            if threshold > 1:
+                self._counters[key] = 0
+            return True
+        return False
+
+    def counter(self, key: Any) -> int:
+        return self._counters.get(key, 0)
+
+    def clear_counter(self, key: Any) -> int:
+        return self._counters.pop(key, 0)
+
+    # ------------------------------------------------------------------
+    # bulk helpers used by the server agent
+    # ------------------------------------------------------------------
+    def merge_register(self, key: Any, register_value: int) -> int:
+        """Fold an evicted switch register into the software total."""
+        return self.add_to(key, register_value)
+
+    def drain(self) -> Dict[Any, int]:
+        """Remove and return every entry (second-level timeout path)."""
+        values, self._values = self._values, {}
+        return values
+
+    def snapshot(self) -> Dict[Any, int]:
+        return dict(self._values)
+
+    def items(self) -> Iterable[Tuple[Any, int]]:
+        return self._values.items()
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._values

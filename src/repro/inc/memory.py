@@ -1,0 +1,196 @@
+"""Server-agent switch-memory management (paper §5.2.2).
+
+The server agent owns the logical -> physical mapping for all of its
+clients (the paper's "multiple clients of a single application" design)
+and hands out *grants* piggybacked on ACKs.  A pluggable
+:class:`~repro.inc.cache.CachePolicy` drives admission and the periodic
+eviction that implements NetRPC's counting-LRU cache.
+
+Evicted physical addresses go through a *quarantine* period before
+reuse so that clients holding a stale grant cannot write into memory
+that has been re-granted to another key (revocations are piggybacked on
+ACKs, so active clients learn quickly; quarantine covers the in-flight
+window).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+from .cache import CachePolicy, HashAddressPolicy, PeriodicLRUPolicy
+
+__all__ = ["MemoryRegion", "MemoryManager", "LinearAllocator"]
+
+
+class MemoryRegion:
+    """A contiguous range of global physical addresses reserved for an app."""
+
+    def __init__(self, base: int, size: int):
+        if size < 0 or base < 0:
+            raise ValueError("region base/size must be non-negative")
+        self.base = base
+        self.size = size
+
+    def __contains__(self, addr: int) -> bool:
+        return self.base <= addr < self.base + self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"MemoryRegion[{self.base}, {self.base + self.size})"
+
+
+class LinearAllocator:
+    """Circular-buffer addressing for synchronous aggregation (§5.2.2).
+
+    SyncAgtr streams a large contiguous array through a fixed region: the
+    array index ``i`` maps to ``base + (i % size)``.  Correctness needs
+    the in-flight span to stay below ``size`` (registers are cleared by
+    the round's return stream before the buffer wraps onto them); the
+    client agent enforces that bound.
+    """
+
+    def __init__(self, region: MemoryRegion):
+        if region.size % 32 != 0 or region.size == 0:
+            raise ValueError(
+                "a linear region must be a positive multiple of 32 so that "
+                "aligned chunks cover every memory segment once")
+        self.region = region
+
+    def physical(self, index: int) -> int:
+        if index < 0:
+            raise ValueError("array indices are non-negative")
+        return self.region.base + index % self.region.size
+
+    @property
+    def window_chunks(self) -> int:
+        """Max packets (32-pair chunks) safely in flight."""
+        return self.region.size // 32
+
+
+class MemoryManager:
+    """Logical -> physical mapping plus grant/evict lifecycle for one app."""
+
+    def __init__(self, region: MemoryRegion, policy: Optional[CachePolicy] = None,
+                 quarantine_s: float = 5e-3):
+        self.region = region
+        self.policy = policy or PeriodicLRUPolicy()
+        self.quarantine_s = quarantine_s
+        self._logical_to_phys: Dict[int, int] = {}
+        self._phys_to_logical: Dict[int, int] = {}
+        self._free: Deque[int] = deque(range(region.base,
+                                             region.base + region.size))
+        self._quarantined: Deque[Tuple[float, int]] = deque()
+        self._pending_hot: Set[int] = set()
+        self._window_counts: Dict[int, int] = {}
+        self.stats = {"grants": 0, "evictions": 0, "denied": 0}
+
+    # ------------------------------------------------------------------
+    @property
+    def mapped_count(self) -> int:
+        return len(self._logical_to_phys)
+
+    @property
+    def capacity(self) -> int:
+        return self.region.size
+
+    def lookup(self, logical: int) -> Optional[int]:
+        return self._logical_to_phys.get(logical)
+
+    def logical_of(self, phys: int) -> Optional[int]:
+        return self._phys_to_logical.get(phys)
+
+    def mapped_logicals(self) -> Set[int]:
+        return set(self._logical_to_phys)
+
+    # ------------------------------------------------------------------
+    def request(self, logical: int, now: float) -> Optional[int]:
+        """Try to grant a mapping for ``logical``; None if denied.
+
+        Called when the server sees an unmapped key.  Hash addressing is
+        special-cased: the slot is fixed by the hash, collisions are
+        permanent fallbacks.
+        """
+        existing = self._logical_to_phys.get(logical)
+        if existing is not None:
+            return existing
+        self._release_expired(now)
+
+        if isinstance(self.policy, HashAddressPolicy):
+            slot = self.region.base + HashAddressPolicy.slot_for(
+                logical, self.region.size)
+            if slot in self._phys_to_logical:
+                self.stats["denied"] += 1
+                return None
+            self._grant(logical, slot)
+            try:
+                self._free.remove(slot)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+            return slot
+
+        mapped = self.mapped_logicals()
+        if not self.policy.wants(logical, mapped, self.capacity):
+            self._pending_hot.add(logical)
+            self.stats["denied"] += 1
+            return None
+        if not self._free:
+            self._pending_hot.add(logical)
+            self.stats["denied"] += 1
+            return None
+        phys = self._free.popleft()
+        self._grant(logical, phys)
+        return phys
+
+    def _grant(self, logical: int, phys: int) -> None:
+        self._logical_to_phys[logical] = phys
+        self._phys_to_logical[phys] = logical
+        self.stats["grants"] += 1
+
+    # ------------------------------------------------------------------
+    def note_use(self, logical: int, count: int = 1) -> None:
+        """Record client-reported use counts for the current window."""
+        self._window_counts[logical] = \
+            self._window_counts.get(logical, 0) + count
+
+    def end_window(self, now: float) -> List[Tuple[int, int]]:
+        """Close the cache-update window (§5.2.2).
+
+        Feeds the window's counts to the policy and returns the
+        ``(logical, physical)`` pairs chosen for eviction.  The caller
+        (server agent) must read-and-clear those registers, merge the
+        values into its software map, broadcast revocations, and finally
+        call :meth:`finish_eviction`.
+        """
+        self.policy.window_update(self._window_counts)
+        self._window_counts = {}
+        victims = self.policy.evictions(self.mapped_logicals(), self.capacity,
+                                        self._pending_hot)
+        self._pending_hot = set()
+        out = []
+        for logical in victims:
+            phys = self._logical_to_phys.get(logical)
+            if phys is not None:
+                out.append((logical, phys))
+        return out
+
+    def finish_eviction(self, logical: int, now: float) -> None:
+        """Complete an eviction: unmap and quarantine the register."""
+        phys = self._logical_to_phys.pop(logical, None)
+        if phys is None:
+            return
+        del self._phys_to_logical[phys]
+        self._quarantined.append((now + self.quarantine_s, phys))
+        self.stats["evictions"] += 1
+
+    def _release_expired(self, now: float) -> None:
+        while self._quarantined and self._quarantined[0][0] <= now:
+            _, phys = self._quarantined.popleft()
+            self._free.append(phys)
+
+    # ------------------------------------------------------------------
+    def force_unmap(self, logical: int, now: float) -> Optional[int]:
+        """Immediate unmap (overflow fallback); returns the physical addr."""
+        phys = self._logical_to_phys.get(logical)
+        if phys is not None:
+            self.finish_eviction(logical, now)
+        return phys

@@ -1,0 +1,217 @@
+"""Reliable flows: the sender half of the flip-bit protocol (paper §5.1).
+
+A :class:`ReliableFlow` corresponds to one sending worker thread holding
+a long-term connection with the switch: it owns an SRRT slot (the
+switch-side bit array), assigns sequence numbers and flip bits, enforces
+the window invariant that makes the protocol idempotent (packet *i* of
+window *t* goes out only after packet *i* of window *t-1* is ACKed),
+runs the AIMD controller, and retransmits on timeout.
+
+ACKs are *selective*: any returning packet (server ACK, switch bounce,
+or a threshold-reached multicast matched by chunk id) acknowledges its
+sequence number out of order — the behaviour the paper credits for
+NetRPC's graceful degradation under loss (Figure 10).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Optional, Tuple
+
+from repro.netsim import Calibration, DEFAULT_CALIBRATION, Host, Simulator
+from repro.protocol import Packet, RetryMode
+
+from .congestion import make_controller
+
+__all__ = ["ReliableFlow"]
+
+
+class _PendingEntry:
+    __slots__ = ("packet", "attempts", "deadline", "sent_at")
+
+    def __init__(self, packet: Packet, deadline: float, sent_at: float):
+        self.packet = packet
+        self.attempts = 1
+        self.deadline = deadline
+        self.sent_at = sent_at
+
+
+class ReliableFlow:
+    """One reliable, congestion-controlled packet stream."""
+
+    MAX_ATTEMPTS = 50
+
+    def __init__(self, sim: Simulator, host: Host, next_hop: str, srrt: int,
+                 flow_id: int = 0, cal: Calibration = DEFAULT_CALIBRATION,
+                 cc_enabled: bool = True,
+                 retry_mode: RetryMode = RetryMode.PERSIST,
+                 on_give_up: Optional[Callable[[Packet], None]] = None,
+                 cc_mode: str = "aimd"):
+        self.sim = sim
+        self.host = host
+        self.next_hop = next_hop
+        self.srrt = srrt
+        self.flow_id = flow_id
+        self.cal = cal
+        self.retry_mode = retry_mode
+        self.cc = make_controller(cc_mode, cal, enabled=cc_enabled)
+        self.on_give_up = on_give_up
+        # Optional predicate consulted before a FRESH retry: lets the
+        # agent stop spinning once the chunk resolved by other means.
+        self.retry_filter: Optional[Callable[[Packet], bool]] = None
+
+        self._next_seq = 0
+        self._send_base = 0              # lowest unacknowledged seq
+        self._queue: Deque[Packet] = deque()
+        self._pending: Dict[int, _PendingEntry] = {}
+        self._acked: set = set()
+        self._chunk_to_seq: Dict[Tuple[int, int], int] = {}
+        self.stats = {"sent": 0, "retransmits": 0, "acked": 0,
+                      "abandoned": 0, "fresh_retries": 0}
+
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        return len(self._pending)
+
+    @property
+    def backlog(self) -> int:
+        return len(self._queue)
+
+    @property
+    def idle(self) -> bool:
+        return not self._queue and not self._pending
+
+    # ------------------------------------------------------------------
+    def enqueue(self, packet: Packet) -> None:
+        """Hand a packet to the flow; seq/flip are assigned in order."""
+        packet.srrt = self.srrt
+        packet.flow_id = self.flow_id
+        packet.seq = self._next_seq
+        packet.flip = (packet.seq // self.cal.w_max) % 2
+        self._next_seq += 1
+        self._chunk_to_seq[packet.chunk_id] = packet.seq
+        self._queue.append(packet)
+        self._pump()
+
+    def _pump(self) -> None:
+        while self._queue and self._can_send(self._queue[0].seq):
+            packet = self._queue.popleft()
+            self._transmit(packet, first=True)
+
+    def _can_send(self, seq: int) -> bool:
+        # cwnd <= w_max, so this also enforces the flip-bit window
+        # invariant (seq - w_max must be ACKed before seq departs).
+        return seq < self._send_base + self.cc.cwnd
+
+    def _transmit(self, packet: Packet, first: bool) -> None:
+        now = self.sim.now
+        packet.sent_at = now
+        wire = packet if first else packet.copy()
+        wire.is_retransmit = not first
+        rto = max(self.cal.retransmit_timeout_s, 2.0 * self.cc.rtt_estimate)
+        if not first:
+            entry = self._pending[packet.seq]
+            entry.attempts += 1
+            rto *= min(8, 2 ** (entry.attempts - 1))  # exponential backoff
+            entry.deadline = now + rto
+            entry.sent_at = now
+            self.stats["retransmits"] += 1
+        else:
+            self._pending[packet.seq] = _PendingEntry(packet, now + rto, now)
+            self.stats["sent"] += 1
+        self.host.send(wire, self.next_hop)
+        self.sim.schedule(rto, self._check_timeout, packet.seq)
+
+    # ------------------------------------------------------------------
+    def _check_timeout(self, seq: int) -> None:
+        entry = self._pending.get(seq)
+        if entry is None or self.sim.now < entry.deadline - 1e-12:
+            return  # acked meanwhile, or a newer timer supersedes this one
+        self.cc.on_timeout(self.sim.now)
+        if entry.attempts >= self.MAX_ATTEMPTS:
+            self._abandon(seq, entry)
+            return
+        if self.retry_mode is RetryMode.FRESH:
+            # The original was intentionally absorbed (test&set below
+            # threshold); retry as a brand-new attempt so the counter
+            # sees it again (spin-lock semantics), paced at the lock
+            # polling interval rather than the transport RTO.
+            self._abandon(seq, entry, give_up=False)
+            if self.retry_filter is not None and \
+                    not self.retry_filter(entry.packet):
+                return
+            retry = entry.packet.copy()
+            retry.is_retransmit = False
+            self.stats["fresh_retries"] += 1
+            self.sim.schedule(self.cal.fresh_retry_delay_s,
+                              self._fresh_enqueue, retry)
+            return
+        self._transmit(entry.packet, first=False)
+
+    def _fresh_enqueue(self, packet: Packet) -> None:
+        if self.retry_filter is not None and not self.retry_filter(packet):
+            return
+        self.enqueue(packet)
+
+    def _abandon(self, seq: int, entry: _PendingEntry,
+                 give_up: bool = True) -> None:
+        del self._pending[seq]
+        self._acked.add(seq)
+        self._advance_base()
+        self.stats["abandoned"] += 1
+        if give_up and self.on_give_up is not None:
+            self.on_give_up(entry.packet)
+        self._pump()
+
+    # ------------------------------------------------------------------
+    # Out-of-order ACKs this far past the window head, with the head
+    # older than an RTT, imply the head packet was lost (§6.4).
+    REORDER_GAP = 8
+
+    def ack(self, seq: int, ecn: bool = False) -> Optional[Packet]:
+        """Acknowledge one sequence number; returns the original packet."""
+        entry = self._pending.pop(seq, None)
+        if entry is None:
+            return None  # duplicate ACK
+        self._acked.add(seq)
+        self.stats["acked"] += 1
+        self.cc.observe_rtt(self.sim.now - entry.sent_at)
+        self.cc.on_ack(ecn, self.sim.now)
+        self._chunk_to_seq.pop(entry.packet.chunk_id, None)
+        self._advance_base()
+        self._fast_retransmit_check(seq)
+        self._pump()
+        return entry.packet
+
+    def _fast_retransmit_check(self, acked_seq: int) -> None:
+        """Selective-ACK loss inference: heal the window head early."""
+        head = self._pending.get(self._send_base)
+        if head is None:
+            return
+        if acked_seq - self._send_base < self.REORDER_GAP:
+            return
+        if self.sim.now - head.sent_at <= self.cc.rtt_estimate:
+            return
+        self.cc.on_fast_loss(self.sim.now)
+        self.stats["fast_retransmits"] = \
+            self.stats.get("fast_retransmits", 0) + 1
+        self._transmit(head.packet, first=False)
+
+    def ack_chunk(self, chunk_id: Tuple[int, int], ecn: bool = False
+                  ) -> Optional[Packet]:
+        """Acknowledge by chunk id (threshold-reached results, §5.1)."""
+        seq = self._chunk_to_seq.get(chunk_id)
+        if seq is None:
+            return None
+        return self.ack(seq, ecn=ecn)
+
+    def _advance_base(self) -> None:
+        while self._send_base in self._acked:
+            self._acked.discard(self._send_base)
+            self._send_base += 1
+
+    # ------------------------------------------------------------------
+    def pending_packet(self, seq: int) -> Optional[Packet]:
+        entry = self._pending.get(seq)
+        return entry.packet if entry else None

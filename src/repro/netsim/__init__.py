@@ -1,0 +1,37 @@
+"""Discrete-event network simulator substrate for the NetRPC reproduction.
+
+This package replaces the paper's physical testbed (Tofino switches,
+100 Gbps NICs, DPDK) with a deterministic, seeded event simulator.  See
+DESIGN.md §1 for the substitution rationale.
+"""
+
+from .calibration import Calibration, DEFAULT_CALIBRATION, scaled
+from .events import AllOf, AnyOf, Event, EventFailed, Interrupt, Timeout
+from .link import (
+    ETHERNET_OVERHEAD_BYTES,
+    BurstLoss,
+    Link,
+    LossModel,
+    NoLoss,
+    RandomLoss,
+    ScriptedLoss,
+    duplex_link,
+)
+from .node import Host, Node
+from .simulator import Process, SimulationError, Simulator
+from .store import Store, StoreFull
+from .topology import Topology, chain, dumbbell, star
+from .trace import Counter, LatencyRecorder, RateMeter, TimeSeries, mean, percentile
+
+__all__ = [
+    "Simulator", "Process", "SimulationError",
+    "Event", "Timeout", "AnyOf", "AllOf", "Interrupt", "EventFailed",
+    "Store", "StoreFull",
+    "Link", "duplex_link", "LossModel", "NoLoss", "RandomLoss", "BurstLoss",
+    "ScriptedLoss", "ETHERNET_OVERHEAD_BYTES",
+    "Node", "Host",
+    "Topology", "star", "dumbbell", "chain",
+    "Counter", "TimeSeries", "RateMeter", "LatencyRecorder",
+    "mean", "percentile",
+    "Calibration", "DEFAULT_CALIBRATION", "scaled",
+]

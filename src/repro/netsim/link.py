@@ -1,0 +1,185 @@
+"""Links, egress queues, and loss models.
+
+A :class:`Link` is a unidirectional channel from one :class:`Node` to
+another with a serialization rate, a propagation delay, a bounded
+drop-tail queue, and an optional loss model.  :func:`duplex_link` wires
+two symmetric directions.
+
+Any object with a ``size_bytes`` attribute can be transmitted.  If the
+queue occupancy exceeds the ECN threshold at enqueue time, the packet's
+``ecn`` attribute is set (when the object has one), mirroring how the
+NetRPC switch marks congestion on queue buildup (paper §5.1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional, Tuple
+
+from .simulator import Simulator
+from .trace import Counter
+
+__all__ = [
+    "LossModel",
+    "NoLoss",
+    "RandomLoss",
+    "BurstLoss",
+    "ScriptedLoss",
+    "Link",
+    "duplex_link",
+    "ETHERNET_OVERHEAD_BYTES",
+]
+
+# Preamble (8) + FCS (4) + inter-frame gap (12): on-the-wire cost added to
+# every frame beyond its declared size.
+ETHERNET_OVERHEAD_BYTES = 24
+
+
+class LossModel:
+    """Decides whether a packet is dropped on the wire."""
+
+    def drops(self, packet: Any, rng) -> bool:
+        raise NotImplementedError
+
+
+class NoLoss(LossModel):
+    def drops(self, packet: Any, rng) -> bool:
+        return False
+
+
+class RandomLoss(LossModel):
+    """Independent per-packet loss with probability ``rate``."""
+
+    def __init__(self, rate: float):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"loss rate must be in [0, 1], got {rate}")
+        self.rate = rate
+
+    def drops(self, packet: Any, rng) -> bool:
+        return self.rate > 0.0 and rng.random() < self.rate
+
+
+class BurstLoss(LossModel):
+    """Two-state Gilbert-Elliott burst loss.
+
+    ``p_enter`` is the chance of entering the bad state per packet,
+    ``p_exit`` the chance of leaving it, and ``bad_rate`` the loss rate
+    while in the bad state.
+    """
+
+    def __init__(self, p_enter: float, p_exit: float, bad_rate: float = 1.0):
+        self.p_enter = p_enter
+        self.p_exit = p_exit
+        self.bad_rate = bad_rate
+        self._bad = False
+
+    def drops(self, packet: Any, rng) -> bool:
+        if self._bad:
+            if rng.random() < self.p_exit:
+                self._bad = False
+        elif rng.random() < self.p_enter:
+            self._bad = True
+        return self._bad and rng.random() < self.bad_rate
+
+
+class ScriptedLoss(LossModel):
+    """Drops exactly the packets whose transmit ordinal is listed.
+
+    Useful in tests that need a deterministic loss pattern.
+    """
+
+    def __init__(self, drop_ordinals):
+        self.drop_ordinals = set(drop_ordinals)
+        self._count = 0
+
+    def drops(self, packet: Any, rng) -> bool:
+        ordinal = self._count
+        self._count += 1
+        return ordinal in self.drop_ordinals
+
+
+class Link:
+    """Unidirectional link with a drop-tail queue and ECN marking."""
+
+    def __init__(self, sim: Simulator, src: Any, dst: Any,
+                 bandwidth_bps: float, delay_s: float,
+                 queue_capacity_pkts: int = 512,
+                 ecn_threshold_pkts: Optional[int] = None,
+                 loss: Optional[LossModel] = None,
+                 name: str = ""):
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if delay_s < 0:
+            raise ValueError("delay must be >= 0")
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.bandwidth_bps = bandwidth_bps
+        self.delay_s = delay_s
+        self.queue_capacity_pkts = queue_capacity_pkts
+        self.ecn_threshold_pkts = (ecn_threshold_pkts
+                                   if ecn_threshold_pkts is not None
+                                   else max(1, queue_capacity_pkts // 8))
+        self.loss = loss or NoLoss()
+        self.name = name or f"{getattr(src, 'name', src)}->" \
+                            f"{getattr(dst, 'name', dst)}"
+        self._queue: Deque[Any] = deque()
+        self._busy = False
+        self.stats = Counter()
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_len(self) -> int:
+        return len(self._queue)
+
+    def send(self, packet: Any) -> bool:
+        """Enqueue ``packet`` for transmission.
+
+        Returns ``False`` if the packet was tail-dropped at the queue.
+        """
+        self.stats.add("offered_pkts")
+        if len(self._queue) >= self.queue_capacity_pkts:
+            self.stats.add("queue_drops")
+            return False
+        if len(self._queue) >= self.ecn_threshold_pkts and \
+                hasattr(packet, "ecn"):
+            packet.ecn = True
+            self.stats.add("ecn_marks")
+        self._queue.append(packet)
+        if not self._busy:
+            self._transmit_next()
+        return True
+
+    def _transmit_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        packet = self._queue.popleft()
+        wire_bytes = packet.size_bytes + ETHERNET_OVERHEAD_BYTES
+        tx_time = wire_bytes * 8.0 / self.bandwidth_bps
+        self.sim.schedule(tx_time, self._tx_done, packet)
+
+    def _tx_done(self, packet: Any) -> None:
+        self.stats.add("sent_pkts")
+        self.stats.add("sent_bytes", packet.size_bytes)
+        if self.loss.drops(packet, self.sim.rng):
+            self.stats.add("wire_drops")
+        else:
+            self.sim.schedule(self.delay_s, self._deliver, packet)
+        self._transmit_next()
+
+    def _deliver(self, packet: Any) -> None:
+        self.stats.add("delivered_pkts")
+        self.dst.receive(packet, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Link {self.name} {self.bandwidth_bps / 1e9:g}Gbps>"
+
+
+def duplex_link(sim: Simulator, a: Any, b: Any, bandwidth_bps: float,
+                delay_s: float, **kwargs) -> Tuple[Link, Link]:
+    """Create the two directions of a full-duplex link: (a->b, b->a)."""
+    forward = Link(sim, a, b, bandwidth_bps, delay_s, **kwargs)
+    backward = Link(sim, b, a, bandwidth_bps, delay_s, **kwargs)
+    return forward, backward

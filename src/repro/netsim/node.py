@@ -1,0 +1,124 @@
+"""Nodes: the endpoints and midpoints of links.
+
+:class:`Node` is the minimal interface the :class:`~repro.netsim.link.Link`
+delivery path needs.  :class:`Host` adds a multi-core CPU service model so
+that software packet processing (the host agents, the pure-DPDK baselines)
+exhibits a realistic packets-per-second ceiling — the effect that makes
+in-network computation win in the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Dict, List, Optional
+
+from .link import Link
+from .simulator import Simulator
+from .trace import Counter
+
+__all__ = ["Node", "Host"]
+
+
+class Node:
+    """Base class for anything that can terminate a link."""
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+        self.egress: Dict[str, Link] = {}
+        self.stats = Counter()
+
+    def attach_egress(self, link: Link) -> None:
+        """Register an outgoing link, keyed by the peer node's name."""
+        peer = getattr(link.dst, "name", str(link.dst))
+        self.egress[peer] = link
+
+    def link_to(self, peer_name: str) -> Link:
+        try:
+            return self.egress[peer_name]
+        except KeyError:
+            raise KeyError(
+                f"{self.name} has no egress link to {peer_name!r}; "
+                f"known peers: {sorted(self.egress)}") from None
+
+    def send(self, packet: Any, peer_name: str) -> bool:
+        self.stats.add("tx_pkts")
+        return self.link_to(peer_name).send(packet)
+
+    def receive(self, packet: Any, link: Link) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class Host(Node):
+    """An end host with a multi-core packet-processing CPU model.
+
+    Every received packet costs ``rx_cpu_cost_s`` seconds on one of
+    ``cores`` cores before the registered handler sees it.  Cores are
+    modelled as parallel servers; when all are busy the packet waits,
+    which produces the pps ceiling that motivates INC offload.
+
+    Setting ``rx_cpu_cost_s`` to 0 makes delivery immediate (useful for
+    unit tests that do not care about CPU contention).
+    """
+
+    def __init__(self, sim: Simulator, name: str, cores: int = 1,
+                 rx_cpu_cost_s: float = 0.0):
+        super().__init__(sim, name)
+        if cores < 1:
+            raise ValueError("a host needs at least one core")
+        self.cores = cores
+        self.rx_cpu_cost_s = rx_cpu_cost_s
+        # Min-heap of the times at which each core becomes free.
+        self._core_free: List[float] = [0.0] * cores
+        heapq.heapify(self._core_free)
+        self._handler: Optional[Callable[[Any, Link], None]] = None
+
+    def set_handler(self, handler: Callable[[Any, Link], None]) -> None:
+        """Install the upcall invoked for every processed packet."""
+        self._handler = handler
+
+    def receive(self, packet: Any, link: Link) -> None:
+        self.stats.add("rx_pkts")
+        if self.rx_cpu_cost_s <= 0.0:
+            self._dispatch((packet, link))
+            return
+        free_at = heapq.heappop(self._core_free)
+        start = max(self.sim.now, free_at)
+        done = start + self.rx_cpu_cost_s
+        heapq.heappush(self._core_free, done)
+        self.sim.schedule(done - self.sim.now, self._dispatch, (packet, link))
+
+    def _dispatch(self, pair) -> None:
+        packet, link = pair
+        self.stats.add("processed_pkts")
+        if self._handler is None:
+            self.stats.add("dropped_no_handler")
+            return
+        self._handler(packet, link)
+
+    def run_on_core(self, cost_s: float, fn: Callable[[Any], None],
+                    arg: Any = None) -> None:
+        """Charge ``cost_s`` of core time, then call ``fn(arg)``.
+
+        Used by agents for work that costs more than the per-packet
+        baseline (e.g. executing INC primitives in software on the
+        fallback path).  Contends for the same cores as packet reception.
+        """
+        if cost_s <= 0.0:
+            fn(arg)
+            return
+        free_at = heapq.heappop(self._core_free)
+        start = max(self.sim.now, free_at)
+        done = start + cost_s
+        heapq.heappush(self._core_free, done)
+        self.sim.schedule(done - self.sim.now, fn, arg)
+
+    def cpu_utilisation_until(self, horizon: float) -> float:
+        """Fraction of core-time consumed, assuming no further arrivals."""
+        if horizon <= 0:
+            return 0.0
+        busy = sum(min(t, horizon) for t in self._core_free)
+        return busy / (self.cores * horizon)

@@ -1,0 +1,216 @@
+"""The discrete-event simulator core.
+
+:class:`Simulator` owns the clock and the pending-event heap.
+:class:`Process` wraps a generator so that ``yield event`` suspends the
+process until the event triggers.  This gives application code a
+blocking, thread-like style while the whole system remains
+deterministic and single-threaded.
+
+Example
+-------
+>>> sim = Simulator(seed=1)
+>>> log = []
+>>> def worker(name, delay):
+...     yield sim.timeout(delay)
+...     log.append((sim.now, name))
+>>> _ = sim.process(worker("b", 2.0))
+>>> _ = sim.process(worker("a", 1.0))
+>>> sim.run()
+>>> log
+[(1.0, 'a'), (2.0, 'b')]
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+from .events import AllOf, AnyOf, Event, EventFailed, Interrupt, Timeout
+
+__all__ = ["Simulator", "Process", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for fatal simulator misuse (e.g. running a finished sim)."""
+
+
+class Process(Event):
+    """A running generator; itself an event that triggers on completion.
+
+    The wrapped generator may ``yield`` any :class:`Event`.  When the event
+    succeeds, the generator resumes with the event's value; when it fails,
+    :class:`EventFailed` is thrown into the generator.  The process event
+    succeeds with the generator's return value.
+    """
+
+    __slots__ = ("generator", "_waiting_on", "name")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Start the process at the current simulation time, but via the
+        # event queue so creation order is preserved deterministically.
+        sim.schedule(0.0, self._resume, None)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            return
+        self.sim.schedule(0.0, self._throw, Interrupt(cause))
+
+    def _resume(self, send_value: Any) -> None:
+        if self.triggered:
+            return
+        self._step(lambda: self.generator.send(send_value))
+
+    def _throw(self, exc: BaseException) -> None:
+        if self.triggered:
+            return
+        self._waiting_on = None
+        self._step(lambda: self.generator.throw(exc))
+
+    def _step(self, advance: Callable[[], Any]) -> None:
+        try:
+            target = advance()
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt as exc:
+            # An un-caught interrupt terminates the process as failed.
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            raise TypeError(
+                f"process {self.name!r} yielded {target!r}; expected an Event"
+            )
+        self._waiting_on = target
+        target.add_callback(self._event_done)
+
+    def _event_done(self, event: Event) -> None:
+        if self.triggered or self._waiting_on is not event:
+            return
+        self._waiting_on = None
+        if event.ok:
+            self._resume(event.value)
+        else:
+            self._throw(EventFailed(event.value))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.triggered else "alive"
+        return f"<Process {self.name!r} {state}>"
+
+
+class Simulator:
+    """Deterministic discrete-event simulator with a seeded RNG.
+
+    Time is a float in **seconds**.  Ties in the event heap break on a
+    monotonically increasing sequence number, so same-time events run in
+    scheduling order.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.now: float = 0.0
+        self._heap: List[Tuple[float, int, Callable, Any]] = []
+        self._sequence = 0
+        self.rng = random.Random(seed)
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    # scheduling primitives
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[[Any], None],
+                 value: Any = None) -> None:
+        """Run ``callback(value)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        self._sequence += 1
+        heapq.heappush(self._heap, (self.now + delay, self._sequence,
+                                    callback, value))
+
+    def schedule_event(self, delay: float, event: Event, value: Any = None
+                       ) -> None:
+        """Trigger ``event`` (succeed) after ``delay`` seconds."""
+        self.schedule(delay, self._trigger_event, (event, value))
+
+    @staticmethod
+    def _trigger_event(pair: Tuple[Event, Any]) -> None:
+        event, value = pair
+        if not event.triggered:
+            event.succeed(value)
+
+    # ------------------------------------------------------------------
+    # event factories
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Execute the next pending callback, advancing the clock."""
+        when, _seq, callback, value = heapq.heappop(self._heap)
+        if when < self.now:  # pragma: no cover - defensive
+            raise SimulationError("event scheduled in the past")
+        self.now = when
+        callback(value)
+
+    def peek(self) -> float:
+        """Time of the next pending event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap drains, or until the clock reaches ``until``.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        even if no event falls on it, so back-to-back ``run`` calls see a
+        monotonic clock.
+        """
+        if until is not None and until < self.now:
+            raise SimulationError(
+                f"cannot run until {until}; clock already at {self.now}")
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                break
+            self.step()
+        if until is not None:
+            self.now = max(self.now, until)
+
+    def run_until(self, event: Event, limit: Optional[float] = None) -> Any:
+        """Run until ``event`` triggers; returns its value.
+
+        Raises :class:`SimulationError` if the heap drains (or ``limit`` is
+        hit) before the event triggers, and :class:`EventFailed` if the
+        event fails.
+        """
+        while not event.triggered:
+            if not self._heap:
+                raise SimulationError(
+                    "simulation ran out of events before the awaited event "
+                    "triggered (deadlock?)")
+            if limit is not None and self._heap[0][0] > limit:
+                raise SimulationError(
+                    f"awaited event did not trigger before t={limit}")
+            self.step()
+        if not event.ok:
+            raise EventFailed(event.value)
+        return event.value

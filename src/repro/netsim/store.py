@@ -1,0 +1,114 @@
+"""FIFO stores for inter-process communication.
+
+A :class:`Store` is an unbounded (or bounded) FIFO queue whose ``get``
+and ``put`` operations are events, so processes can block on them:
+
+>>> from repro.netsim import Simulator
+>>> sim = Simulator()
+>>> store = Store(sim)
+>>> out = []
+>>> def consumer():
+...     item = yield store.get()
+...     out.append(item)
+>>> _ = sim.process(consumer())
+>>> store.put_nowait("hello")
+>>> sim.run()
+>>> out
+['hello']
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from .events import Event
+from .simulator import Simulator
+
+__all__ = ["Store", "StoreFull"]
+
+
+class StoreFull(Exception):
+    """Raised by :meth:`Store.put_nowait` when a bounded store is full."""
+
+
+class Store:
+    """A FIFO queue with event-based blocking ``get`` and ``put``."""
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None):
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[Event] = deque()  # events carrying pending items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    # ------------------------------------------------------------------
+    def put(self, item: Any) -> Event:
+        """Blocking put; the returned event triggers once the item is in."""
+        event = self.sim.event()
+        if not self.is_full:
+            self._items.append(item)
+            event.succeed()
+            self._wake_getter()
+        else:
+            event.value = item  # stash the payload until space frees up
+            self._putters.append(event)
+        return event
+
+    def put_nowait(self, item: Any) -> None:
+        """Non-blocking put; raises :class:`StoreFull` if bounded and full."""
+        if self.is_full:
+            raise StoreFull(f"store at capacity {self.capacity}")
+        self._items.append(item)
+        self._wake_getter()
+
+    def get(self) -> Event:
+        """Blocking get; the returned event triggers with the item."""
+        event = self.sim.event()
+        if self._items:
+            event.succeed(self._items.popleft())
+            self._admit_putter()
+        else:
+            self._getters.append(event)
+        return event
+
+    def get_nowait(self) -> Any:
+        """Non-blocking get; raises :class:`LookupError` when empty."""
+        if not self._items:
+            raise LookupError("store is empty")
+        item = self._items.popleft()
+        self._admit_putter()
+        return item
+
+    def drain(self) -> list:
+        """Remove and return all queued items (does not wake putters fully)."""
+        items = list(self._items)
+        self._items.clear()
+        while self._putters and not self.is_full:
+            self._admit_putter()
+        return items
+
+    # ------------------------------------------------------------------
+    def _wake_getter(self) -> None:
+        while self._getters and self._items:
+            getter = self._getters.popleft()
+            if getter.triggered:  # pragma: no cover - cancelled getter
+                continue
+            getter.succeed(self._items.popleft())
+
+    def _admit_putter(self) -> None:
+        if self._putters and not self.is_full:
+            putter = self._putters.popleft()
+            item, putter.value = putter.value, None
+            self._items.append(item)
+            putter.succeed()
+            self._wake_getter()

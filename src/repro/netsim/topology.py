@@ -1,0 +1,113 @@
+"""Topology builders: wire nodes together with duplex links.
+
+The builders are agnostic to node types — any :class:`~repro.netsim.node.Node`
+subclass works — so the same functions build NetRPC dataplanes and
+baseline dataplanes.  The paper's testbed is a dumbbell: two switches,
+four hosts on each side (§6.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from .calibration import Calibration, DEFAULT_CALIBRATION
+from .link import Link, LossModel, duplex_link
+from .node import Node
+from .simulator import Simulator
+
+__all__ = ["Topology", "star", "dumbbell", "chain"]
+
+
+class Topology:
+    """A set of nodes plus a registry of the directed links between them."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.nodes: Dict[str, Node] = {}
+        self.links: Dict[Tuple[str, str], Link] = {}
+
+    def add_node(self, node: Node) -> Node:
+        if node.name in self.nodes:
+            raise ValueError(f"duplicate node name {node.name!r}")
+        self.nodes[node.name] = node
+        return node
+
+    def connect(self, a: Node, b: Node, bandwidth_bps: float,
+                delay_s: float, loss: Optional[LossModel] = None,
+                **kwargs) -> Tuple[Link, Link]:
+        """Create a duplex link between ``a`` and ``b`` and register it."""
+        for node in (a, b):
+            if node.name not in self.nodes:
+                self.add_node(node)
+        fwd, bwd = duplex_link(self.sim, a, b, bandwidth_bps, delay_s,
+                               loss=loss, **kwargs)
+        a.attach_egress(fwd)
+        b.attach_egress(bwd)
+        self.links[(a.name, b.name)] = fwd
+        self.links[(b.name, a.name)] = bwd
+        return fwd, bwd
+
+    def link(self, src: str, dst: str) -> Link:
+        try:
+            return self.links[(src, dst)]
+        except KeyError:
+            raise KeyError(f"no link {src} -> {dst}") from None
+
+    def node(self, name: str) -> Node:
+        return self.nodes[name]
+
+
+def star(sim: Simulator, center: Node, leaves: Sequence[Node],
+         cal: Calibration = DEFAULT_CALIBRATION,
+         loss: Optional[LossModel] = None) -> Topology:
+    """All leaves attach to a single center (one-switch rack)."""
+    topo = Topology(sim)
+    topo.add_node(center)
+    for leaf in leaves:
+        topo.connect(leaf, center, cal.link_bandwidth_bps,
+                     cal.host_link_delay_s, loss=loss,
+                     queue_capacity_pkts=cal.switch_queue_capacity_pkts,
+                     ecn_threshold_pkts=cal.switch_ecn_threshold_pkts)
+    return topo
+
+
+def dumbbell(sim: Simulator, left_switch: Node, right_switch: Node,
+             left_hosts: Sequence[Node], right_hosts: Sequence[Node],
+             cal: Calibration = DEFAULT_CALIBRATION,
+             loss: Optional[LossModel] = None) -> Topology:
+    """The paper's testbed: two switches, hosts hanging off each (§6.1)."""
+    topo = Topology(sim)
+    topo.add_node(left_switch)
+    topo.add_node(right_switch)
+    topo.connect(left_switch, right_switch, cal.link_bandwidth_bps,
+                 cal.switch_link_delay_s, loss=loss,
+                 queue_capacity_pkts=cal.switch_queue_capacity_pkts,
+                 ecn_threshold_pkts=cal.switch_ecn_threshold_pkts)
+    for host in left_hosts:
+        topo.connect(host, left_switch, cal.link_bandwidth_bps,
+                     cal.host_link_delay_s, loss=loss,
+                     queue_capacity_pkts=cal.switch_queue_capacity_pkts,
+                     ecn_threshold_pkts=cal.switch_ecn_threshold_pkts)
+    for host in right_hosts:
+        topo.connect(host, right_switch, cal.link_bandwidth_bps,
+                     cal.host_link_delay_s, loss=loss,
+                     queue_capacity_pkts=cal.switch_queue_capacity_pkts,
+                     ecn_threshold_pkts=cal.switch_ecn_threshold_pkts)
+    return topo
+
+
+def chain(sim: Simulator, nodes: Sequence[Node],
+          cal: Calibration = DEFAULT_CALIBRATION,
+          loss: Optional[LossModel] = None) -> Topology:
+    """Connect nodes in a line (used for the two-switch pipeline, §6.6)."""
+    if len(nodes) < 2:
+        raise ValueError("a chain needs at least two nodes")
+    topo = Topology(sim)
+    for node in nodes:
+        topo.add_node(node)
+    for a, b in zip(nodes, nodes[1:]):
+        topo.connect(a, b, cal.link_bandwidth_bps, cal.switch_link_delay_s,
+                     loss=loss,
+                     queue_capacity_pkts=cal.switch_queue_capacity_pkts,
+                     ecn_threshold_pkts=cal.switch_ecn_threshold_pkts)
+    return topo

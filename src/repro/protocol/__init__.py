@@ -1,0 +1,26 @@
+"""Wire-level protocol shared by the switch model, host agents, and RPC layer.
+
+Contains the packet format (Figure 14), the RIP program representation
+(the compiled NetFilter), 32-bit switch arithmetic with quantization
+(§5.2.1), and the ``Stream.modify`` operation set (Appendix A).
+"""
+
+from .arith import (
+    INT32_MAX,
+    INT32_MIN,
+    Quantizer,
+    is_overflow_sentinel,
+    saturating_add,
+    wrap32,
+)
+from .ops import StreamOp, apply_stream_op
+from .packets import KV_PAIRS_PER_PACKET, KVPair, Packet, full_bitmap
+from .rips import ClearPolicy, CntFwdSpec, ForwardTarget, RIPProgram, RetryMode
+
+__all__ = [
+    "INT32_MAX", "INT32_MIN", "Quantizer", "is_overflow_sentinel",
+    "saturating_add", "wrap32",
+    "StreamOp", "apply_stream_op",
+    "Packet", "KVPair", "KV_PAIRS_PER_PACKET", "full_bitmap",
+    "RIPProgram", "CntFwdSpec", "ClearPolicy", "ForwardTarget", "RetryMode",
+]

@@ -1,0 +1,254 @@
+"""The RIP pipeline: per-packet switch logic (paper Figure 15, §5.2.3).
+
+Given a packet and its application's admission entry, the pipeline
+mutates the packet (Stream.modify, Map.get results, overflow sentinels)
+and returns a :class:`Verdict` telling the switch what to do with it:
+forward, bounce to the source, multicast to the client group, or drop.
+
+Processing order mirrors the paper's flowchart:
+
+1. reliability check (flip bit) — retransmissions skip all
+   state-changing primitives but still read;
+2. bypasses: ACKs, overflow-marked packets, unmapped (``is_cross``)
+   packets go straight through;
+3. server-return path: execute ``Map.clear`` and multicast;
+4. data path: ``Stream.modify`` -> shadow mirror clear -> ``Map.addTo``
+   -> ``Map.get`` -> ``CntFwd`` decision.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.protocol import (
+    INT32_MAX,
+    ClearPolicy,
+    ForwardTarget,
+    Packet,
+    RIPProgram,
+    StreamOp,
+    apply_stream_op,
+)
+
+from .admission import AppEntry
+from .flowstate import FlowStateTable
+from .registers import RegisterFile
+
+__all__ = ["Action", "Verdict", "RIPPipeline"]
+
+
+class Action(enum.Enum):
+    FORWARD = "forward"      # towards pkt.dst / the server
+    BOUNCE = "bounce"        # back to pkt.src (sub-RTT response)
+    MULTICAST = "multicast"  # to the application's client group
+    DROP = "drop"            # absorbed (CntFwd below threshold)
+
+
+@dataclass
+class Verdict:
+    action: Action
+    dst: Optional[str] = None           # FORWARD/BOUNCE target host
+    group: Tuple[str, ...] = ()         # MULTICAST targets
+    recirculate: bool = False           # costs an extra pipeline trip
+    retransmission: bool = False        # flip-bit said we saw this packet
+
+
+class RIPPipeline:
+    """Executes RIPs against a register file, one packet per call.
+
+    ``phys_base`` positions this switch's registers inside the global
+    physical address space: in a two-switch chain (§6.6) the second
+    switch owns addresses ``[capacity, 2*capacity)`` and ignores kv
+    pairs outside its range.
+    """
+
+    def __init__(self, registers: RegisterFile, flow_state: FlowStateTable,
+                 phys_base: int = 0):
+        self.registers = registers
+        self.flow_state = flow_state
+        self.phys_base = phys_base
+
+    def _local(self, addr: int) -> Optional[int]:
+        """Translate a global physical address, or None if not ours."""
+        local = addr - self.phys_base
+        if 0 <= local < self.registers.capacity:
+            return local
+        return None
+
+    # ------------------------------------------------------------------
+    def process(self, pkt: Packet, entry: AppEntry, now: float) -> Verdict:
+        entry.touch(now)
+        prog = entry.program
+
+        retrans = False
+        if pkt.srrt >= 0:
+            retrans = self.flow_state.check_and_update(pkt.srrt, pkt.seq,
+                                                       pkt.flip)
+        pkt.is_retransmit = retrans
+
+        if pkt.is_ack:
+            return Verdict(Action.FORWARD, dst=pkt.dst,
+                           retransmission=retrans)
+        if pkt.is_sa:
+            # Server-originated packets take the return path even when
+            # overflow-marked (a sentinel-carrying clearing return).
+            return self._return_path(pkt, prog, entry, retrans)
+        if pkt.is_of:
+            # Fallback bypass: raw data straight to the server agent.
+            return Verdict(Action.FORWARD, dst=entry.server,
+                           retransmission=retrans)
+        if pkt.is_cross:
+            # Unmapped keys: the server executes the primitives in software.
+            return Verdict(Action.FORWARD, dst=entry.server,
+                           retransmission=retrans)
+        return self._data_path(pkt, prog, entry, retrans)
+
+    # ------------------------------------------------------------------
+    def _return_path(self, pkt: Packet, prog: RIPProgram, entry: AppEntry,
+                     retrans: bool) -> Verdict:
+        """Packets from the server agent: clear on the way back (§5.2.2)."""
+        recirc = False
+        if pkt.is_clr and not retrans:
+            for index, kv in enumerate(pkt.kv):
+                if kv.mapped and pkt.slot_selected(index):
+                    local = self._local(kv.addr)
+                    if local is not None:
+                        self.registers.clear(local)
+            if pkt.is_cnf:
+                local = self._local(pkt.cnt_index)
+                if local is not None:
+                    self.registers.clear(local)
+            if prog.clear is ClearPolicy.SHADOW:
+                recirc = True
+        if pkt.is_mcast:
+            return Verdict(Action.MULTICAST, group=entry.clients,
+                           recirculate=recirc, retransmission=retrans)
+        return Verdict(Action.FORWARD, dst=pkt.dst, recirculate=recirc,
+                       retransmission=retrans)
+
+    # ------------------------------------------------------------------
+    def _data_path(self, pkt: Packet, prog: RIPProgram, entry: AppEntry,
+                   retrans: bool) -> Verdict:
+        regs = self.registers
+        recirc = False
+
+        # --- Stream.modify (stateless; the edge switch applies it once) --
+        if prog.modify_op is not StreamOp.NOP and entry.edge:
+            for index, kv in enumerate(pkt.kv):
+                if not pkt.slot_selected(index):
+                    continue
+                kv.value, overflowed = apply_stream_op(
+                    prog.modify_op, kv.value, prog.modify_para)
+                if overflowed:
+                    pkt.is_of = True
+
+        # --- shadow mirror clear (costs a recirculation) ----------------
+        if prog.clear is ClearPolicy.SHADOW and pkt.shadow_offset:
+            if not retrans:
+                for index, kv in enumerate(pkt.kv):
+                    if kv.mapped and pkt.slot_selected(index):
+                        local = self._local(kv.addr + pkt.shadow_offset)
+                        if local is not None:
+                            regs.clear(local)
+            recirc = True
+
+        # --- Map.addTo ----------------------------------------------------
+        if prog.uses_add_to and not retrans:
+            for index, kv in enumerate(pkt.kv):
+                if kv.mapped and pkt.slot_selected(index):
+                    local = self._local(kv.addr)
+                    if local is not None and regs.add(local, kv.value):
+                        kv.value = INT32_MAX
+                        pkt.is_of = True
+
+        # --- Map.get --------------------------------------------------------
+        if prog.uses_get:
+            for index, kv in enumerate(pkt.kv):
+                if kv.mapped and pkt.slot_selected(index):
+                    local = self._local(kv.addr)
+                    if local is None:
+                        continue
+                    kv.value = regs.read(local)
+                    if regs.is_sticky(local):
+                        pkt.is_of = True
+
+        if not entry.edge:
+            # Upstream switch in a chain: local pairs are done, the
+            # server-edge switch makes the forwarding decision.
+            return Verdict(Action.FORWARD, dst=pkt.dst, recirculate=recirc,
+                           retransmission=retrans)
+
+        # --- CntFwd (edge switch only) -----------------------------------
+        spec = prog.cntfwd
+        if pkt.is_cnf and spec.counts:
+            cnt_local = self._local(pkt.cnt_index)
+            if cnt_local is None:
+                return Verdict(Action.FORWARD, dst=pkt.dst,
+                               recirculate=recirc, retransmission=retrans)
+            # When the counter register is one of the packet's own kv
+            # addresses, the Map.addTo above already incremented it (the
+            # paper's §5.2.3: CntFwd rides the normal map-access pipeline);
+            # only ClientID-style side counters need the extra add.
+            counted_by_add = prog.uses_add_to and any(
+                kv.mapped and kv.addr == pkt.cnt_index and
+                pkt.slot_selected(i) for i, kv in enumerate(pkt.kv))
+            if not retrans and not counted_by_add:
+                regs.add(cnt_local, 1)
+            count = regs.read_raw(cnt_local)
+            if count == spec.threshold:
+                if spec.threshold > 1:
+                    # Multi-party rounds: re-arm the counter for the next
+                    # round.  test&set (threshold 1) persists until an
+                    # explicit clear releases it.
+                    regs.write(cnt_local, 0)
+                if prog.clear is ClearPolicy.COPY and \
+                        spec.target is not ForwardTarget.SERVER:
+                    # Copy policy: the result detours through the server
+                    # for backup (Figure 5's black arrows); the server's
+                    # clearing return stream reaches the real target.
+                    return Verdict(Action.FORWARD, dst=entry.server,
+                                   recirculate=recirc,
+                                   retransmission=retrans)
+                return self._target_verdict(spec.target, pkt, entry, recirc,
+                                            retrans)
+            if retrans and spec.threshold > 1 and count == 0:
+                if prog.clear is ClearPolicy.COPY:
+                    # Either the trigger to the server was lost (registers
+                    # still hold the aggregate: re-trigger with the values
+                    # Map.get just read) or the return is in flight (the
+                    # server dedups and its reliable return heals us).
+                    return Verdict(Action.FORWARD, dst=entry.server,
+                                   recirculate=recirc, retransmission=True)
+                # shadow/lazy: the aggregate is still readable on the
+                # switch; bounce it straight back (values were filled by
+                # Map.get above).
+                return Verdict(Action.BOUNCE, dst=pkt.src,
+                               recirculate=recirc, retransmission=True)
+            return Verdict(Action.DROP, recirculate=recirc,
+                           retransmission=retrans)
+
+        # threshold == 0 (or CntFwd disabled): unconditional forward.
+        if prog.clear is ClearPolicy.COPY and \
+                spec.target is not ForwardTarget.SERVER and \
+                any(kv.mapped for kv in pkt.kv):
+            # A clearing method (e.g. lock Release): the server backs up
+            # the values and its return stream performs the clear.
+            return Verdict(Action.FORWARD, dst=entry.server,
+                           recirculate=recirc, retransmission=retrans)
+        return self._target_verdict(spec.target, pkt, entry, recirc, retrans)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _target_verdict(target: ForwardTarget, pkt: Packet, entry: AppEntry,
+                        recirc: bool, retrans: bool) -> Verdict:
+        if target is ForwardTarget.SRC:
+            return Verdict(Action.BOUNCE, dst=pkt.src, recirculate=recirc,
+                           retransmission=retrans)
+        if target is ForwardTarget.ALL:
+            pkt.is_mcast = True
+            return Verdict(Action.MULTICAST, group=entry.clients,
+                           recirculate=recirc, retransmission=retrans)
+        return Verdict(Action.FORWARD, dst=entry.server, recirculate=recirc,
+                       retransmission=retrans)

@@ -1,0 +1,151 @@
+"""Switch register storage: the physical memory behind the INC map.
+
+The paper's switch (§6.1) exposes 32 read-write memory *segments* — one
+per key-value slot in a NetRPC packet — each holding 40K 32-bit units,
+spread over 8 of the 12 pipeline stages with 4 register groups per
+stage.  A physical address ``p`` maps to segment ``p % segments`` at
+index ``p // segments``, so a run of 32 consecutive addresses touches
+every segment exactly once (which is what lets a full packet be
+processed in one pipeline pass).
+
+Overflow handling refines §5.2.1: instead of saturating the register
+itself (which destroys the accumulated value), a 1-bit *sticky overflow
+sidecar* is set and the register is left intact.  Reads of a sticky
+register return the MAX_INT sentinel, so every downstream host detects
+the overflow exactly as in the paper, while the pre-overflow total
+remains recoverable by the control plane (see DESIGN.md §4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.protocol import INT32_MAX, saturating_add
+
+__all__ = ["RegisterFile", "StageLayout"]
+
+
+class StageLayout:
+    """Maps memory segments onto pipeline stages and register groups.
+
+    Purely structural — used to validate that a configuration fits the
+    chip (``segments <= map_stages * groups_per_stage``) and to report
+    resource usage.
+    """
+
+    def __init__(self, pipeline_stages: int = 12, map_stages: int = 8,
+                 groups_per_stage: int = 4, segments: int = 32):
+        if map_stages > pipeline_stages:
+            raise ValueError("map stages cannot exceed pipeline stages")
+        if segments > map_stages * groups_per_stage:
+            raise ValueError(
+                f"{segments} segments do not fit in {map_stages} stages x "
+                f"{groups_per_stage} groups")
+        self.pipeline_stages = pipeline_stages
+        self.map_stages = map_stages
+        self.groups_per_stage = groups_per_stage
+        self.segments = segments
+
+    def placement(self, segment: int) -> Tuple[int, int]:
+        """(stage, group) hosting a given segment."""
+        if not 0 <= segment < self.segments:
+            raise ValueError(f"segment {segment} out of range")
+        return segment // self.groups_per_stage, \
+            segment % self.groups_per_stage
+
+
+class RegisterFile:
+    """32-bit register memory with per-register sticky overflow bits."""
+
+    def __init__(self, segments: int = 32, registers_per_segment: int = 40_000,
+                 layout: StageLayout = None):
+        if segments < 1 or registers_per_segment < 1:
+            raise ValueError("segments and registers_per_segment must be >= 1")
+        self.segments = segments
+        self.registers_per_segment = registers_per_segment
+        self.capacity = segments * registers_per_segment
+        self.layout = layout or StageLayout(segments=segments)
+        # Sparse storage: zero registers dominate, a dict keeps memory sane
+        # while still modelling the full 32 x 40K address space.
+        self._values: Dict[int, int] = {}
+        self._sticky_overflow: set = set()
+
+    # ------------------------------------------------------------------
+    def _check(self, addr: int) -> None:
+        if not 0 <= addr < self.capacity:
+            raise IndexError(
+                f"physical address {addr} out of range [0, {self.capacity})")
+
+    def segment_of(self, addr: int) -> int:
+        """Which memory segment (= packet kv slot) an address lives in."""
+        self._check(addr)
+        return addr % self.segments
+
+    # ------------------------------------------------------------------
+    def read(self, addr: int) -> int:
+        """Map.get: returns the sentinel for sticky-overflowed registers."""
+        self._check(addr)
+        if addr in self._sticky_overflow:
+            return INT32_MAX
+        return self._values.get(addr, 0)
+
+    def read_raw(self, addr: int) -> int:
+        """Control-plane read: the exact stored value, ignoring sticky bits."""
+        self._check(addr)
+        return self._values.get(addr, 0)
+
+    def add(self, addr: int, value: int) -> bool:
+        """Map.addTo.  Returns True when the add overflowed.
+
+        On overflow (including adds to an already-sticky register) the
+        stored value is left unchanged and the sticky bit is set, so the
+        packet's contribution must be replayed through the server agent.
+        """
+        self._check(addr)
+        if addr in self._sticky_overflow:
+            return True
+        current = self._values.get(addr, 0)
+        result, overflowed = saturating_add(current, value)
+        if overflowed:
+            self._sticky_overflow.add(addr)
+            return True
+        if result:
+            self._values[addr] = result
+        else:
+            self._values.pop(addr, None)
+        return False
+
+    def write(self, addr: int, value: int) -> None:
+        """Direct write (control plane / test&set reset paths)."""
+        self._check(addr)
+        self._sticky_overflow.discard(addr)
+        if value:
+            self._values[addr] = value
+        else:
+            self._values.pop(addr, None)
+
+    def clear(self, addr: int) -> None:
+        """Map.clear: zero the register and reset its sticky bit."""
+        self._check(addr)
+        self._values.pop(addr, None)
+        self._sticky_overflow.discard(addr)
+
+    def is_sticky(self, addr: int) -> bool:
+        self._check(addr)
+        return addr in self._sticky_overflow
+
+    # ------------------------------------------------------------------
+    def read_and_clear(self, addrs: Iterable[int]) -> List[Tuple[int, int, bool]]:
+        """Control-plane eviction: (addr, exact value, was_sticky) triples."""
+        out = []
+        for addr in addrs:
+            self._check(addr)
+            out.append((addr, self._values.get(addr, 0),
+                        addr in self._sticky_overflow))
+            self.clear(addr)
+        return out
+
+    @property
+    def occupied(self) -> int:
+        """Number of non-zero registers (diagnostic)."""
+        return len(self._values)

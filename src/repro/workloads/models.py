@@ -1,0 +1,56 @@
+"""DNN model profiles for the distributed-training workload (Figure 6).
+
+Substitutes the paper's GPU testbed: instead of computing real gradients
+on ImageNet, each model is characterised by its parameter count and its
+per-iteration compute time on the paper's hardware class (RTX 2080 Ti,
+batch 32).  Training speed then depends on the communication/computation
+overlap, which is exactly what the paper's Figure 6 measures — VGG16 is
+communication-bound (INC wins big), ResNet50 is compute-bound (all
+systems tie), matching §6.3's observations.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List
+
+__all__ = ["ModelProfile", "MODELS", "synthetic_gradient"]
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """Communication/computation profile of one DNN."""
+
+    name: str
+    parameters: int            # gradient elements per iteration
+    compute_s: float           # forward+backward time per iteration
+    samples_per_iteration: int = 32
+
+    @property
+    def gradient_bytes(self) -> int:
+        return self.parameters * 4
+
+    def comm_to_comp_ratio(self, bandwidth_bps: float) -> float:
+        """Ideal-network communication time over computation time."""
+        comm = self.gradient_bytes * 8 / bandwidth_bps
+        return comm / self.compute_s
+
+
+# Parameter counts are the canonical model sizes; compute times follow
+# the relative throughputs reported for 2080 Ti-class GPUs.
+MODELS: Dict[str, ModelProfile] = {
+    "VGG16": ModelProfile("VGG16", parameters=138_000_000,
+                          compute_s=0.105),
+    "AlexNet": ModelProfile("AlexNet", parameters=61_000_000,
+                            compute_s=0.028),
+    "ResNet50": ModelProfile("ResNet50", parameters=25_600_000,
+                             compute_s=0.145),
+}
+
+
+def synthetic_gradient(size: int, seed: int = 0, scale: float = 1e-3
+                       ) -> List[float]:
+    """A gradient-shaped vector: small, zero-centred values."""
+    rng = random.Random(seed)
+    return [rng.gauss(0.0, scale) for _ in range(size)]

@@ -1,0 +1,60 @@
+"""Synthetic text corpus for the WordCount (AsyncAgtr) workload.
+
+Substitutes the paper's Yelp dataset: reviews are generated from a
+Zipf-distributed vocabulary, which matches the heavy-tailed word
+frequency statistics (Zipf's law) that make word counting an
+interesting caching workload.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, List
+
+from .keys import ZipfGenerator
+
+__all__ = ["SyntheticCorpus", "word_count"]
+
+_SYLLABLES = ["ba", "co", "di", "fu", "ge", "hi", "jo", "ku", "la", "me",
+              "no", "pa", "qui", "ro", "su", "ta", "ve", "wo", "xe", "zu"]
+
+
+def _make_vocabulary(size: int, seed: int) -> List[str]:
+    rng = random.Random(seed)
+    vocab = set()
+    while len(vocab) < size:
+        word = "".join(rng.choice(_SYLLABLES)
+                       for _ in range(rng.randint(2, 4)))
+        vocab.add(word)
+    return sorted(vocab)
+
+
+class SyntheticCorpus:
+    """Generates review-like documents with Zipfian word frequencies."""
+
+    def __init__(self, vocabulary_size: int = 5000, zipf_s: float = 1.1,
+                 words_per_doc: int = 80, seed: int = 0):
+        if vocabulary_size < 1 or words_per_doc < 1:
+            raise ValueError("vocabulary and document sizes must be >= 1")
+        self.vocabulary = _make_vocabulary(vocabulary_size, seed)
+        self.words_per_doc = words_per_doc
+        self._sampler = ZipfGenerator(vocabulary_size, s=zipf_s, seed=seed)
+        self.rng = random.Random(seed + 1)
+
+    def document(self) -> str:
+        words = [self.vocabulary[self._sampler.sample_index()]
+                 for _ in range(self.words_per_doc)]
+        return " ".join(words)
+
+    def documents(self, count: int) -> Iterator[str]:
+        for _ in range(count):
+            yield self.document()
+
+
+def word_count(documents) -> Dict[str, int]:
+    """Reference (local, exact) word count for validating the INC result."""
+    counts: Dict[str, int] = {}
+    for document in documents:
+        for word in document.split():
+            counts[word] = counts.get(word, 0) + 1
+    return counts

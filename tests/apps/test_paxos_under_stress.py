@@ -1,0 +1,63 @@
+"""Paxos application under packet loss and contention."""
+
+import pytest
+
+from repro.apps import PaxosCluster
+from repro.control import build_rack
+from repro.netsim import RandomLoss, scaled
+
+CAL = scaled()
+
+
+def make_cluster(loss=None, seed=0):
+    loss_factory = (lambda: RandomLoss(loss)) if loss else None
+    dep = build_rack(7, 1, cal=CAL, seed=seed, loss_factory=loss_factory)
+    cluster = PaxosCluster(dep, proposers=["c0", "c1"],
+                           acceptors=["c2", "c3"],
+                           learners=["c4", "c5", "c6"])
+    return dep, cluster
+
+
+class TestPaxosUnderLoss:
+    def test_all_instances_decided_with_loss(self):
+        _dep, cluster = make_cluster(loss=0.01, seed=9)
+        report = cluster.run(60, window=4, limit=120.0)
+        assert len(report.decided) == 60
+
+    def test_decisions_are_consistent_across_learners(self):
+        """Every learner records the same value per instance.
+
+        The cluster's decided map would raise on conflicting writes only
+        if values differed; verify by re-deriving from accepted votes.
+        """
+        _dep, cluster = make_cluster(loss=0.02, seed=11)
+        report = cluster.run(40, window=4, limit=120.0)
+        for instance, value in report.decided.items():
+            accepted_values = {v for (a, i), v in cluster._accepted.items()
+                               if i == instance}
+            assert accepted_values == {value}
+
+    def test_single_proposer_serial_instances(self):
+        dep = build_rack(5, 1, cal=CAL)
+        cluster = PaxosCluster(dep, proposers=["c0"],
+                               acceptors=["c1", "c2"],
+                               learners=["c3", "c4"])
+        report = cluster.run(25, window=1)
+        assert len(report.decided) == 25
+        assert list(sorted(report.decided)) == list(range(25))
+
+
+class TestPaxosContention:
+    def test_interleaved_proposers_never_conflict(self):
+        """Instances are sharded, so both proposers' commands decide."""
+        _dep, cluster = make_cluster()
+        report = cluster.run(100, window=8)
+        from_c0 = sum(1 for v in report.decided.values() if "-c0-" in v)
+        from_c1 = sum(1 for v in report.decided.values() if "-c1-" in v)
+        assert from_c0 == 50 and from_c1 == 50
+
+    def test_latency_distribution_recorded(self):
+        _dep, cluster = make_cluster()
+        report = cluster.run(50, window=2)
+        assert report.latency.count == 50
+        assert report.latency.p(50) <= report.latency.p(99)

@@ -1,0 +1,90 @@
+"""Tests for the SwitchML / ATP / BytePS aggregation baselines."""
+
+import pytest
+
+from repro.baselines import build_aggregation_job
+from repro.netsim import RandomLoss, ScriptedLoss, scaled
+
+CAL = scaled()
+
+
+class TestConstruction:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            build_aggregation_job("magic", 2, 100, cal=CAL)
+
+    def test_byteps_gets_multiple_parameter_servers(self):
+        job = build_aggregation_job("byteps", 2, 10, cal=CAL)
+        ps_names = {w._dst_for(c) for w in job.workers for c in range(16)}
+        assert len(ps_names) == 8
+
+
+class TestCompletion:
+    @pytest.mark.parametrize("kind", ["switchml", "atp", "byteps"])
+    def test_all_chunks_complete(self, kind):
+        job = build_aggregation_job(kind, n_workers=2, total_chunks=200,
+                                    cal=CAL)
+        goodput = job.run()
+        assert goodput > 0
+        for worker in job.workers:
+            assert len(worker.completed) == 200
+
+    @pytest.mark.parametrize("kind", ["switchml", "atp"])
+    def test_switch_aggregates_before_forwarding(self, kind):
+        job = build_aggregation_job(kind, n_workers=3, total_chunks=50,
+                                    cal=CAL)
+        job.run()
+        switch = job.workers[0].host.egress["sw0"].dst
+        assert switch.stats["completions"] == 50
+        # Below-threshold contributions are absorbed in-network.
+        assert switch.stats["absorbed"] == 50 * 2
+
+    @pytest.mark.parametrize("kind", ["switchml", "atp", "byteps"])
+    def test_completes_under_loss(self, kind):
+        job = build_aggregation_job(
+            kind, n_workers=2, total_chunks=100, cal=CAL, seed=3,
+            loss_factory=lambda: RandomLoss(0.02))
+        job.run(limit=120)
+        for worker in job.workers:
+            assert len(worker.completed) == 100
+
+
+class TestRelativeBehaviour:
+    def test_clean_ordering_matches_paper(self):
+        """ATP > BytePS > SwitchML in clean per-sender goodput (§6.4)."""
+        goodputs = {}
+        for kind in ("switchml", "atp", "byteps"):
+            job = build_aggregation_job(kind, n_workers=2,
+                                        total_chunks=2000, cal=CAL)
+            goodputs[kind] = job.run()
+        assert goodputs["atp"] > goodputs["byteps"]
+        assert goodputs["byteps"] > goodputs["switchml"]
+
+    def test_switchml_degrades_most_under_loss(self):
+        """Figure 10: in-order slot reuse is fragile, OOO windows are not."""
+        ratios = {}
+        for kind in ("switchml", "atp"):
+            clean = build_aggregation_job(kind, 2, 1500, cal=CAL).run()
+            lossy = build_aggregation_job(
+                kind, 2, 1500, cal=CAL, seed=7,
+                loss_factory=lambda: RandomLoss(0.01)).run(limit=120)
+            ratios[kind] = lossy / clean
+        assert ratios["switchml"] < ratios["atp"]
+
+    def test_atp_window_halves_on_timeouts(self):
+        job = build_aggregation_job(
+            "atp", n_workers=2, total_chunks=500, cal=CAL, seed=1,
+            loss_factory=lambda: RandomLoss(0.05))
+        job.run(limit=120)
+        assert any(w.window < w._max_window for w in job.workers)
+
+    def test_scripted_loss_recovers_exact_chunk(self):
+        # Drop exactly the first transmission on one uplink: the chunk
+        # must still complete via retransmission.
+        job = build_aggregation_job(
+            "switchml", n_workers=2, total_chunks=10, cal=CAL,
+            loss_factory=lambda: ScriptedLoss([0]))
+        job.run()
+        assert all(len(w.completed) == 10 for w in job.workers)
+        retx = sum(w.stats["retransmits"] for w in job.workers)
+        assert retx >= 1

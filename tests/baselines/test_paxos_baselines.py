@@ -1,0 +1,63 @@
+"""Tests for P4xos and software Paxos baselines (Figure 7)."""
+
+import pytest
+
+from repro.baselines import P4xosCluster, SoftwarePaxosCluster
+from repro.netsim import scaled
+
+CAL = scaled()
+
+
+class TestP4xos:
+    def test_decides_every_instance(self):
+        cluster = P4xosCluster(cal=CAL)
+        report = cluster.run(100, window=8)
+        assert len(report.decided) == 100
+
+    def test_sub_rtt_decision_latency(self):
+        """One switch traversal: latency well under a host round trip."""
+        cluster = P4xosCluster(cal=CAL)
+        report = cluster.run(50, window=1)
+        # One-way proposer->switch->learner plus host processing.
+        assert report.latency.p(99) < 20e-6
+
+    def test_acceptor_replicas_multiply_learner_traffic(self):
+        single = P4xosCluster(cal=CAL, acceptor_replicas=1)
+        single.run(100, window=8)
+        triple = P4xosCluster(cal=CAL, acceptor_replicas=3)
+        triple.run(100, window=8)
+        rx1 = sum(h.stats["rx_pkts"] for h in single.learners)
+        rx3 = sum(h.stats["rx_pkts"] for h in triple.learners)
+        assert rx3 == 3 * rx1
+
+
+class TestSoftwarePaxos:
+    def test_libpaxos_decides_every_instance(self):
+        cluster = SoftwarePaxosCluster(dpdk=False, cal=CAL)
+        report = cluster.run(50, window=4)
+        assert len(report.decided) == 50
+
+    def test_dpdk_faster_than_kernel(self):
+        kernel = SoftwarePaxosCluster(dpdk=False, cal=CAL)
+        kernel_report = kernel.run(300, window=8)
+        dpdk = SoftwarePaxosCluster(dpdk=True, cal=CAL)
+        dpdk_report = dpdk.run(300, window=8)
+        assert dpdk_report.throughput_msgs_per_s > \
+            kernel_report.throughput_msgs_per_s
+        assert dpdk_report.latency.p(99) < kernel_report.latency.p(99)
+
+    def test_majority_required_before_learn(self):
+        cluster = SoftwarePaxosCluster(n_acceptors=3, dpdk=True, cal=CAL)
+        report = cluster.run(20, window=2)
+        assert len(report.decided) == 20
+        assert cluster.majority == 2
+
+
+class TestFigure7Shape:
+    def test_inc_systems_beat_software(self):
+        p4 = P4xosCluster(cal=CAL).run(300, window=8)
+        lib = SoftwarePaxosCluster(dpdk=False, cal=CAL).run(300, window=8)
+        dpdk = SoftwarePaxosCluster(dpdk=True, cal=CAL).run(300, window=8)
+        assert p4.throughput_msgs_per_s > dpdk.throughput_msgs_per_s
+        assert dpdk.throughput_msgs_per_s > lib.throughput_msgs_per_s
+        assert p4.latency.p(99) < dpdk.latency.p(99) < lib.latency.p(99)

@@ -1,0 +1,97 @@
+"""Tests for INC-enabled data type encoding/decoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import IEDTKind, decode_items, encode_items, is_iedt
+from repro.core.iedt import default_value, iedt_kind
+from repro.protocol import INT32_MAX, Quantizer
+
+
+class TestKinds:
+    def test_known_types(self):
+        assert is_iedt("netrpc.FPArray")
+        assert is_iedt("netrpc.STRINTMap")
+        assert not is_iedt("int32")
+
+    def test_kind_lookup(self):
+        assert iedt_kind("netrpc.FPArray") is IEDTKind.FP_ARRAY
+        with pytest.raises(ValueError):
+            iedt_kind("netrpc.Tensor")
+
+    def test_shape_flags(self):
+        assert IEDTKind.FP_ARRAY.is_array and IEDTKind.FP_ARRAY.is_float
+        assert IEDTKind.STR_INT_MAP.is_map
+        assert not IEDTKind.INT_ARRAY.is_float
+
+    def test_defaults(self):
+        assert default_value(IEDTKind.FP_ARRAY) == []
+        assert default_value(IEDTKind.STR_INT_MAP) == {}
+
+
+class TestEncoding:
+    def test_fp_array_quantizes(self):
+        items, overflows = encode_items(IEDTKind.FP_ARRAY, [0.5, -1.25],
+                                        Quantizer(2))
+        assert items == [(0, 50), (1, -125)]
+        assert overflows == 0
+
+    def test_int_array_passthrough(self):
+        items, _ = encode_items(IEDTKind.INT_ARRAY, [5, -3], Quantizer(0))
+        assert items == [(0, 5), (1, -3)]
+
+    def test_str_map(self):
+        items, _ = encode_items(IEDTKind.STR_INT_MAP, {"a": 1, "b": 2},
+                                Quantizer(0))
+        assert sorted(items) == [("a", 1), ("b", 2)]
+
+    def test_int_map_key_type_enforced(self):
+        with pytest.raises(TypeError):
+            encode_items(IEDTKind.INT_INT_MAP, {"str": 1}, Quantizer(0))
+        with pytest.raises(TypeError):
+            encode_items(IEDTKind.STR_INT_MAP, {5: 1}, Quantizer(0))
+
+    def test_int_value_type_enforced(self):
+        with pytest.raises(TypeError):
+            encode_items(IEDTKind.INT_ARRAY, [1.5], Quantizer(0))
+        with pytest.raises(TypeError):
+            encode_items(IEDTKind.INT_ARRAY, [True], Quantizer(0))
+
+    def test_overflow_precheck_counts(self):
+        items, overflows = encode_items(IEDTKind.FP_ARRAY, [1e9],
+                                        Quantizer(8))
+        assert overflows == 1
+        assert items[0][1] == INT32_MAX
+
+
+class TestDecoding:
+    def test_fp_array_dequantizes(self):
+        out = decode_items(IEDTKind.FP_ARRAY, {0: 50, 1: -125},
+                           Quantizer(2), length=2)
+        assert out == [0.5, -1.25]
+
+    def test_missing_indices_decode_to_zero(self):
+        out = decode_items(IEDTKind.INT_ARRAY, {1: 7}, Quantizer(0),
+                           length=3)
+        assert out == [0, 7, 0]
+
+    def test_str_map_decoding(self):
+        out = decode_items(IEDTKind.STR_INT_MAP, {"a": 5}, Quantizer(0))
+        assert out == {"a": 5}
+
+    def test_fp_map_decoding(self):
+        out = decode_items(IEDTKind.FP_MAP, {"a": 250}, Quantizer(2))
+        assert out == {"a": 2.5}
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100,
+                              allow_nan=False), max_size=40),
+           st.integers(min_value=1, max_value=6))
+    def test_roundtrip_error_bounded(self, values, precision):
+        q = Quantizer(precision)
+        items, overflows = encode_items(IEDTKind.FP_ARRAY, values, q)
+        assert overflows == 0
+        decoded = decode_items(IEDTKind.FP_ARRAY, dict(items), q,
+                               length=len(values))
+        for original, roundtripped in zip(values, decoded):
+            assert abs(original - roundtripped) <= \
+                q.roundtrip_error_bound() + 1e-12

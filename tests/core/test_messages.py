@@ -1,0 +1,156 @@
+"""Tests for message descriptors, dynamic messages, and marshalling."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.messages import FieldDescriptor, Message, MessageDescriptor
+
+
+def grad_descriptor():
+    return MessageDescriptor("NewGrad", [
+        FieldDescriptor("tensor", "netrpc.FPArray", 1),
+        FieldDescriptor("note", "string", 2),
+        FieldDescriptor("step", "int32", 3),
+    ])
+
+
+def kv_descriptor():
+    return MessageDescriptor("ReduceRequest", [
+        FieldDescriptor("kvs", "netrpc.STRINTMap", 1),
+        FieldDescriptor("flag", "bool", 2),
+        FieldDescriptor("weight", "double", 3),
+        FieldDescriptor("blob", "bytes", 4),
+    ])
+
+
+class TestFieldDescriptor:
+    def test_scalar_defaults(self):
+        assert FieldDescriptor("x", "int32", 1).default() == 0
+        assert FieldDescriptor("x", "string", 1).default() == ""
+        assert FieldDescriptor("x", "double", 1).default() == 0.0
+        assert FieldDescriptor("x", "bool", 1).default() is False
+        assert FieldDescriptor("x", "bytes", 1).default() == b""
+
+    def test_iedt_defaults(self):
+        assert FieldDescriptor("x", "netrpc.FPArray", 1).default() == []
+        assert FieldDescriptor("x", "netrpc.STRINTMap", 1).default() == {}
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown field type"):
+            FieldDescriptor("x", "varchar", 1)
+
+    def test_bad_tag_rejected(self):
+        with pytest.raises(ValueError):
+            FieldDescriptor("x", "int32", 0)
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(ValueError):
+            FieldDescriptor("2x", "int32", 1)
+
+
+class TestMessageDescriptor:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            MessageDescriptor("M", [FieldDescriptor("a", "int32", 1),
+                                    FieldDescriptor("a", "int32", 2)])
+
+    def test_duplicate_tags_rejected(self):
+        with pytest.raises(ValueError):
+            MessageDescriptor("M", [FieldDescriptor("a", "int32", 1),
+                                    FieldDescriptor("b", "int32", 1)])
+
+    def test_iedt_field_listing(self):
+        desc = grad_descriptor()
+        assert [f.name for f in desc.iedt_fields()] == ["tensor"]
+        assert [f.name for f in desc.scalar_fields()] == ["note", "step"]
+
+
+class TestMessageInstances:
+    def test_construction_with_kwargs(self):
+        msg = grad_descriptor()(tensor=[1.0, 2.0], note="hi", step=3)
+        assert msg.tensor == [1.0, 2.0]
+        assert msg.note == "hi"
+        assert msg.step == 3
+
+    def test_defaults(self):
+        msg = grad_descriptor()()
+        assert msg.tensor == [] and msg.note == "" and msg.step == 0
+
+    def test_unknown_field_rejected(self):
+        msg = grad_descriptor()()
+        with pytest.raises(AttributeError):
+            msg.missing = 1
+        with pytest.raises(AttributeError):
+            _ = msg.missing
+
+    def test_type_validation(self):
+        msg = grad_descriptor()()
+        with pytest.raises(TypeError):
+            msg.tensor = {"not": "a list"}
+        with pytest.raises(TypeError):
+            msg.note = 42
+        with pytest.raises(TypeError):
+            msg.step = True  # bools are not ints here
+
+    def test_int_promotes_to_float(self):
+        msg = kv_descriptor()(weight=2)
+        assert msg.weight == 2.0
+
+    def test_equality(self):
+        a = grad_descriptor()(step=1)
+        b = grad_descriptor()(step=1)
+        c = grad_descriptor()(step=2)
+        assert a == b and a != c
+
+
+class TestWireRoundtrip:
+    def test_full_roundtrip(self):
+        desc = grad_descriptor()
+        msg = desc(tensor=[0.5, -1.25], note="gradient", step=-7)
+        decoded = Message.from_bytes(desc, msg.to_bytes())
+        assert decoded == msg
+
+    def test_map_roundtrip(self):
+        desc = kv_descriptor()
+        msg = desc(kvs={"apple": 3, "pear": -4}, flag=True, weight=2.5,
+                   blob=b"\x00\x01")
+        decoded = Message.from_bytes(desc, msg.to_bytes())
+        assert decoded == msg
+
+    def test_scalar_only_marshalling_excludes_iedts(self):
+        desc = grad_descriptor()
+        msg = desc(tensor=[1.0] * 100, note="x")
+        partial = Message.from_bytes(desc, msg.to_bytes(include_iedt=False))
+        assert partial.tensor == []
+        assert partial.note == "x"
+
+    def test_byte_size_reflects_payload(self):
+        desc = grad_descriptor()
+        small = desc(note="a").byte_size()
+        big = desc(note="a" * 100).byte_size()
+        assert big - small == 99
+
+    def test_unknown_tags_are_skipped(self):
+        narrow = MessageDescriptor("M", [FieldDescriptor("a", "int32", 1)])
+        wide = MessageDescriptor("M", [FieldDescriptor("a", "int32", 1),
+                                       FieldDescriptor("b", "string", 9)])
+        msg = wide(a=-5, b="ignored")
+        decoded = Message.from_bytes(narrow, msg.to_bytes())
+        assert decoded.a == -5
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), max_size=50),
+           st.text(max_size=30),
+           st.integers(min_value=-2**31, max_value=2**31 - 1))
+    def test_property_roundtrip(self, tensor, note, step):
+        desc = grad_descriptor()
+        msg = desc(tensor=tensor, note=note, step=step)
+        assert Message.from_bytes(desc, msg.to_bytes()) == msg
+
+    @given(st.dictionaries(st.text(min_size=1, max_size=10),
+                           st.integers(min_value=-2**31, max_value=2**31),
+                           max_size=20))
+    def test_property_map_roundtrip(self, kvs):
+        desc = kv_descriptor()
+        msg = desc(kvs=kvs)
+        assert Message.from_bytes(desc, msg.to_bytes()).kvs == kvs

@@ -1,0 +1,108 @@
+"""Misc stub/channel behaviours: rounds, CallInfo, server snapshots."""
+
+import pytest
+
+from repro.control import build_rack
+from repro.core import Channel, NetRPCService, ServerStub, register_service
+from repro.netsim import scaled
+
+CAL = scaled()
+
+PROTO = """
+import "netrpc.proto";
+message Push { netrpc.STRINTMap kvs = 1; }
+message PushAck { string msg = 1; }
+message Read { netrpc.STRINTMap kvs = 1; }
+message ReadOut { netrpc.STRINTMap kvs = 1; }
+service KV {
+  rpc Push (Push) returns (PushAck) {} filter "push.nf"
+  rpc Read (Read) returns (ReadOut) {} filter "read.nf"
+}
+"""
+
+FILTERS = {
+    "push.nf": """{"AppName": "KV-1", "addTo": "Push.kvs",
+                   "CntFwd": {"to": "SRC", "threshold": 0}}""",
+    "read.nf": """{"AppName": "KV-1", "get": "ReadOut.kvs",
+                   "CntFwd": {"to": "SRC", "threshold": 0}}""",
+}
+
+
+def make(clients=("c0",)):
+    dep = build_rack(len(clients), 1, cal=CAL)
+    service = NetRPCService.from_text(PROTO, "KV", FILTERS)
+    registered = register_service(dep, service, server="s0",
+                                  clients=list(clients))
+    return dep, registered
+
+
+class TestRounds:
+    def test_rounds_auto_increment_per_method(self):
+        dep, registered = make()
+        stub = Channel(registered, "c0").stub()
+        push = registered.binding("Push").request
+        stub.call("Push", push(kvs={"a": 1}))
+        stub.call("Push", push(kvs={"a": 1}))
+        assert stub._rounds["Push"] == 2
+        assert "Read" not in stub._rounds
+
+    def test_explicit_round_does_not_advance_counter(self):
+        dep, registered = make()
+        stub = Channel(registered, "c0").stub()
+        push = registered.binding("Push").request
+        stub.call("Push", push(kvs={"a": 1}), round=7)
+        assert "Push" not in stub._rounds
+
+
+class TestCallInfo:
+    def test_info_reports_paths(self):
+        dep, registered = make()
+        stub = Channel(registered, "c0").stub()
+        push = registered.binding("Push").request
+        _, first = stub.call("Push", push(kvs={"x": 1}))
+        dep.sim.run(until=dep.sim.now + 0.01)
+        _, second = stub.call("Push", push(kvs={"x": 1}))
+        assert first.fallback_pairs == 1 and first.mapped_pairs == 0
+        assert second.mapped_pairs == 1 and second.fallback_pairs == 0
+        assert second.cache_hit_ratio == 1.0
+        assert first.overflow_chunks == 0
+
+
+class TestServerSnapshot:
+    def test_inc_map_snapshot_merges_switch_and_software(self):
+        dep, registered = make()
+        server = ServerStub(registered)
+        stub = Channel(registered, "c0").stub()
+        push = registered.binding("Push").request
+        stub.call("Push", push(kvs={"a": 3, "b": 4}))   # software path
+        dep.sim.run(until=dep.sim.now + 0.01)
+        stub.call("Push", push(kvs={"a": 5}))           # switch path
+        dep.sim.run(until=dep.sim.now + 0.01)
+        snapshot = server.inc_map_snapshot()
+        assert snapshot["a"] == 8
+        assert snapshot["b"] == 4
+
+    def test_snapshot_without_switch_part(self):
+        dep, registered = make()
+        server = ServerStub(registered)
+        stub = Channel(registered, "c0").stub()
+        push = registered.binding("Push").request
+        stub.call("Push", push(kvs={"a": 3}))
+        dep.sim.run(until=dep.sim.now + 0.01)
+        software_only = server.inc_map_snapshot(include_switch=False)
+        assert software_only.get("a", 0) in (0, 3)
+
+
+class TestMultiClientSharing:
+    def test_grants_shared_across_clients_via_server(self):
+        dep, registered = make(clients=("c0", "c1"))
+        stub0 = Channel(registered, "c0").stub()
+        stub1 = Channel(registered, "c1").stub()
+        push = registered.binding("Push").request
+        read = registered.binding("Read").request
+        stub0.call("Push", push(kvs={"shared": 10}))
+        dep.sim.run(until=dep.sim.now + 0.02)
+        stub1.call("Push", push(kvs={"shared": 5}))
+        dep.sim.run(until=dep.sim.now + 0.02)
+        reply, _ = stub0.call("Read", read(kvs={"shared": 0}))
+        assert reply.kvs["shared"] == 15

@@ -1,0 +1,80 @@
+"""Tests for the varint wire encoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import wire
+
+
+class TestVarint:
+    def test_small_values_are_one_byte(self):
+        assert wire.encode_varint(0) == b"\x00"
+        assert wire.encode_varint(127) == b"\x7f"
+
+    def test_multibyte(self):
+        assert wire.encode_varint(300) == b"\xac\x02"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            wire.encode_varint(-1)
+
+    def test_truncated_raises(self):
+        with pytest.raises(ValueError):
+            wire.decode_varint(b"\x80")
+
+    def test_overlong_raises(self):
+        with pytest.raises(ValueError):
+            wire.decode_varint(b"\xff" * 11)
+
+    @given(st.integers(min_value=0, max_value=2**63))
+    def test_roundtrip(self, value):
+        data = wire.encode_varint(value)
+        decoded, offset = wire.decode_varint(data)
+        assert decoded == value and offset == len(data)
+
+
+class TestZigzag:
+    def test_mapping(self):
+        assert wire.zigzag(0) == 0
+        assert wire.zigzag(-1) == 1
+        assert wire.zigzag(1) == 2
+        assert wire.zigzag(-2) == 3
+
+    @given(st.integers(min_value=-2**62, max_value=2**62))
+    def test_roundtrip(self, value):
+        assert wire.unzigzag(wire.zigzag(value)) == value
+
+    @given(st.integers(min_value=-2**62, max_value=2**62))
+    def test_signed_encoding_roundtrip(self, value):
+        data = wire.encode_signed(value)
+        decoded, _ = wire.decode_signed(data)
+        assert decoded == value
+
+
+class TestDoubleAndBytes:
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_double_roundtrip(self, value):
+        decoded, offset = wire.decode_double(wire.encode_double(value))
+        assert decoded == value and offset == 8
+
+    def test_truncated_double(self):
+        with pytest.raises(ValueError):
+            wire.decode_double(b"\x00" * 7)
+
+    @given(st.binary(max_size=200))
+    def test_bytes_roundtrip(self, blob):
+        decoded, _ = wire.decode_bytes(wire.encode_bytes(blob))
+        assert decoded == blob
+
+    def test_truncated_bytes(self):
+        with pytest.raises(ValueError):
+            wire.decode_bytes(b"\x05abc")
+
+    def test_sequential_decoding(self):
+        data = wire.encode_bytes(b"ab") + wire.encode_signed(-5) + \
+            wire.encode_double(1.5)
+        blob, offset = wire.decode_bytes(data)
+        value, offset = wire.decode_signed(data, offset)
+        dbl, offset = wire.decode_double(data, offset)
+        assert (blob, value, dbl) == (b"ab", -5, 1.5)
+        assert offset == len(data)

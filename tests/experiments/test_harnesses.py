@@ -1,0 +1,100 @@
+"""Fast smoke tests for the experiment harnesses.
+
+The heavy, paper-scale runs live in ``benchmarks/``; these verify the
+measurement plumbing itself at miniature scale.
+"""
+
+import pytest
+
+from repro.experiments import (
+    run_async_aggregation,
+    run_sync_aggregation,
+    sync_chunk_latency,
+    voting_delay,
+)
+from repro.experiments.common import format_table
+from repro.experiments.exp_fairness import jain_fairness
+from repro.experiments.exp_loc import count_loc, netfilter_loc
+from repro.experiments.exp_training import training_speed
+
+
+class TestSyncHarness:
+    def test_goodput_positive_and_bounded(self):
+        result = run_sync_aggregation(n_values=8192)
+        assert 0 < result.goodput_gbps < 100
+        assert result.elapsed_s > 0
+        assert result.overflow_chunks == 0
+
+    def test_overflow_ratio_produces_overflow_chunks(self):
+        result = run_sync_aggregation(n_values=4096, overflow_ratio=0.5,
+                                      seed=1)
+        assert result.overflow_chunks > 0
+
+    def test_loss_produces_retransmissions(self):
+        result = run_sync_aggregation(n_values=8192, loss=0.02, seed=2)
+        assert result.retransmits > 0
+
+    def test_chunk_latency_is_microseconds(self):
+        latency = sync_chunk_latency(rounds=5)
+        assert 1e-7 < latency < 1e-3
+
+
+class TestAsyncHarness:
+    def test_chr_rises_with_repeats(self):
+        one_pass = run_async_aggregation(distinct_keys=256, repeats=1)
+        many = run_async_aggregation(distinct_keys=256, repeats=64, seed=1)
+        assert many.cache_hit_ratio > one_pass.cache_hit_ratio
+        assert many.cache_hit_ratio > 0.3
+
+    def test_software_only_never_hits_cache(self):
+        result = run_async_aggregation(distinct_keys=128, repeats=3,
+                                       software_only=True)
+        assert result.cache_hit_ratio == 0.0
+
+    def test_phases_rotate_hot_keys(self):
+        static = run_async_aggregation(distinct_keys=512, repeats=6,
+                                       value_slots=256, zipf_s=1.1,
+                                       phases=1, seed=4, app_name="P1")
+        shifting = run_async_aggregation(distinct_keys=512, repeats=6,
+                                         value_slots=256, zipf_s=1.1,
+                                         phases=3, seed=4, app_name="P3")
+        # A shifting hot set is strictly harder for any fixed cache.
+        assert shifting.cache_hit_ratio <= static.cache_hit_ratio + 0.05
+
+
+class TestVotingHarness:
+    def test_delay_in_microsecond_band(self):
+        delay = voting_delay(rounds=6)
+        assert 1e-7 < delay < 1e-3
+
+    def test_software_only_slower(self):
+        fast = voting_delay(rounds=6)
+        slow = voting_delay(rounds=6, software_only=True, seed=1)
+        assert slow > fast
+
+
+class TestHelpers:
+    def test_jain_fairness_bounds(self):
+        assert jain_fairness([1.0, 1.0]) == pytest.approx(1.0)
+        assert jain_fairness([1.0, 0.0]) == pytest.approx(0.5)
+        assert jain_fairness([]) == 0.0
+
+    def test_format_table_alignment(self):
+        table = format_table("t", ["a", "bb"], [["x", 1], ["yy", 22]])
+        lines = table.splitlines()
+        assert lines[0] == "== t =="
+        assert len(lines) == 4
+
+    def test_count_loc_skips_comments_and_docstrings(self):
+        from repro.experiments import exp_loc as module
+        loc = count_loc(module)
+        raw = len(open(module.__file__).read().splitlines())
+        assert 0 < loc < raw
+
+    def test_netfilter_loc(self):
+        assert netfilter_loc({"a.nf": "{\n \"x\": 1\n}\n"}) == 3
+
+    def test_training_speed_monotone_in_goodput(self):
+        slow = training_speed("VGG16", 10.0)
+        fast = training_speed("VGG16", 50.0)
+        assert fast > slow

@@ -1,0 +1,80 @@
+"""Tests for the DCTCP-style controller (the paper's §7 extension)."""
+
+import pytest
+
+from repro.inc import DCTCPController, make_controller
+from repro.inc.congestion import AIMDController
+from repro.netsim import scaled
+
+CAL = scaled(initial_cwnd=64, w_max=256)
+
+
+class TestFactory:
+    def test_modes(self):
+        assert isinstance(make_controller("aimd", CAL), AIMDController)
+        assert isinstance(make_controller("dctcp", CAL), DCTCPController)
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown congestion-control"):
+            make_controller("vegas", CAL)
+
+
+class TestDCTCPBehaviour:
+    def _feed(self, cc, marked_fraction, rounds=40, acks_per_round=32):
+        now = 0.0
+        cc.observe_rtt(10e-6)
+        for _ in range(rounds):
+            for index in range(acks_per_round):
+                ecn = index < marked_fraction * acks_per_round
+                cc.on_ack(ecn=ecn, now=now)
+            now += 20e-6
+        return cc
+
+    def test_clean_acks_grow_window(self):
+        cc = self._feed(DCTCPController(CAL), marked_fraction=0.0)
+        assert cc.cwnd > CAL.initial_cwnd
+        assert cc.alpha == 0.0
+
+    def test_alpha_tracks_mark_fraction(self):
+        cc = self._feed(DCTCPController(CAL), marked_fraction=0.5,
+                        rounds=200)
+        assert 0.3 < cc.alpha < 0.7
+
+    def test_light_marking_cuts_less_than_aimd(self):
+        """The whole point of DCTCP: proportionality to congestion extent."""
+        dctcp = self._feed(DCTCPController(CAL), marked_fraction=0.05)
+        aimd = self._feed(AIMDController(CAL), marked_fraction=0.05)
+        assert dctcp.cwnd > aimd.cwnd
+
+    def test_heavy_marking_shrinks_window(self):
+        cc = self._feed(DCTCPController(CAL), marked_fraction=1.0,
+                        rounds=100)
+        assert cc.cwnd < CAL.initial_cwnd
+
+    def test_disabled_is_inert(self):
+        cc = DCTCPController(CAL, enabled=False)
+        cc.on_ack(ecn=True, now=1.0)
+        assert cc.cwnd == CAL.w_max
+
+
+class TestEndToEnd:
+    def test_dctcp_mode_completes_aggregation(self):
+        from repro.experiments.common import run_sync_aggregation
+        from repro.control import build_rack
+        dep = build_rack(2, 1, cal=CAL)
+        (config,) = dep.controller.register(
+            [__import__("repro.experiments.common",
+                        fromlist=["sync_program"]).sync_program(2)],
+            server="s0", clients=["c0", "c1"], value_slots=16_384,
+            counter_slots=2048, linear=True, cc_mode="dctcp")
+        assert config.cc_mode == "dctcp"
+        from repro.inc import Task
+        events = [dep.client_agent(i).submit(
+            Task(app=config, round=0,
+                 items=[(j, i + 1) for j in range(2048)],
+                 expect_result=True)) for i in range(2)]
+        for event in events:
+            result = dep.sim.run_until(event, limit=30.0)
+        assert result.values[0] == 3
+        flow = dep.client_agent(0).app_state("SYNC").flows[0]
+        assert isinstance(flow.cc, DCTCPController)

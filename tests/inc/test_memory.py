@@ -1,0 +1,100 @@
+"""Tests for the server-side memory manager and linear allocator."""
+
+import pytest
+
+from repro.inc import LinearAllocator, MemoryManager, MemoryRegion
+from repro.inc.cache import HashAddressPolicy, PeriodicLRUPolicy
+
+
+class TestMemoryRegion:
+    def test_contains(self):
+        region = MemoryRegion(100, 50)
+        assert 100 in region and 149 in region
+        assert 99 not in region and 150 not in region
+
+    def test_invalid_region(self):
+        with pytest.raises(ValueError):
+            MemoryRegion(-1, 10)
+        with pytest.raises(ValueError):
+            MemoryRegion(0, -5)
+
+
+class TestLinearAllocator:
+    def test_circular_addressing(self):
+        alloc = LinearAllocator(MemoryRegion(1000, 64))
+        assert alloc.physical(0) == 1000
+        assert alloc.physical(63) == 1063
+        assert alloc.physical(64) == 1000  # wraps
+
+    def test_window_chunks(self):
+        alloc = LinearAllocator(MemoryRegion(0, 320))
+        assert alloc.window_chunks == 10
+
+    def test_region_must_be_multiple_of_32(self):
+        with pytest.raises(ValueError):
+            LinearAllocator(MemoryRegion(0, 30))
+        with pytest.raises(ValueError):
+            LinearAllocator(MemoryRegion(0, 0))
+
+    def test_negative_index_rejected(self):
+        alloc = LinearAllocator(MemoryRegion(0, 32))
+        with pytest.raises(ValueError):
+            alloc.physical(-1)
+
+
+class TestMemoryManager:
+    def test_grant_assigns_from_region(self):
+        mm = MemoryManager(MemoryRegion(500, 4))
+        phys = mm.request(logical=777, now=0.0)
+        assert phys in MemoryRegion(500, 4)
+        assert mm.lookup(777) == phys
+        assert mm.logical_of(phys) == 777
+
+    def test_repeat_request_returns_same_mapping(self):
+        mm = MemoryManager(MemoryRegion(0, 4))
+        assert mm.request(1, 0.0) == mm.request(1, 0.0)
+
+    def test_denies_when_full(self):
+        mm = MemoryManager(MemoryRegion(0, 2))
+        mm.request(1, 0.0)
+        mm.request(2, 0.0)
+        assert mm.request(3, 0.0) is None
+        assert mm.stats["denied"] == 1
+
+    def test_eviction_lifecycle_with_quarantine(self):
+        mm = MemoryManager(MemoryRegion(0, 1), quarantine_s=1.0)
+        phys = mm.request(1, now=0.0)
+        mm.finish_eviction(1, now=0.0)
+        assert mm.lookup(1) is None
+        # Still quarantined: the slot must not be reused yet.
+        assert mm.request(2, now=0.5) is None
+        # After the grace period the register is free again.
+        assert mm.request(2, now=1.5) == phys
+
+    def test_window_reports_evictions_for_hot_pending(self):
+        mm = MemoryManager(MemoryRegion(0, 1), quarantine_s=0.0)
+        mm.request(1, 0.0)
+        mm.note_use(1, 1)
+        mm.request(2, 0.0)   # denied, becomes pending-hot
+        mm.note_use(2, 100)
+        victims = mm.end_window(now=1.0)
+        assert victims and victims[0][0] == 1
+
+    def test_hash_policy_uses_fixed_slots(self):
+        mm = MemoryManager(MemoryRegion(0, 8), policy=HashAddressPolicy())
+        phys = mm.request(10, 0.0)
+        assert phys == 10 % 8
+        # A colliding logical address is denied permanently.
+        assert mm.request(18, 0.0) is None
+
+    def test_force_unmap_returns_physical(self):
+        mm = MemoryManager(MemoryRegion(0, 4))
+        phys = mm.request(5, 0.0)
+        assert mm.force_unmap(5, 0.0) == phys
+        assert mm.lookup(5) is None
+
+    def test_mapped_count_and_capacity(self):
+        mm = MemoryManager(MemoryRegion(0, 4))
+        assert mm.capacity == 4
+        mm.request(1, 0.0)
+        assert mm.mapped_count == 1

@@ -1,0 +1,118 @@
+"""End-to-end overflow handling tests (paper §5.2.1, Figure 11).
+
+The switch clamps to a sentinel, hosts give up the result, clients
+replay raw chunks through the server, and the server computes the exact
+answer in 64-bit software.
+"""
+
+import pytest
+
+from repro.control import build_rack
+from repro.inc import Task
+from repro.netsim import scaled
+from repro.protocol import (
+    INT32_MAX,
+    ClearPolicy,
+    CntFwdSpec,
+    ForwardTarget,
+    RIPProgram,
+)
+
+CAL = scaled()
+BIG = INT32_MAX - 10   # two of these always overflow int32
+
+
+def sync_program(n_clients, clear=ClearPolicy.COPY):
+    return RIPProgram(
+        app_name="DT", get_field="r.t", add_to_field="q.t", clear=clear,
+        cntfwd=CntFwdSpec(target=ForwardTarget.ALL, threshold=n_clients))
+
+
+def run_sync_round(dep, config, arrays, round_no=0, limit=10.0):
+    if isinstance(config, list):
+        config = config[0]
+    events = []
+    for index, array in enumerate(arrays):
+        task = Task(app=config, round=round_no,
+                    items=[(i, v) for i, v in enumerate(array)],
+                    expect_result=True)
+        events.append(dep.client_agent(index).submit(task))
+    return [dep.sim.run_until(e, limit=limit) for e in events]
+
+
+@pytest.mark.parametrize("clear", [ClearPolicy.COPY, ClearPolicy.SHADOW,
+                                   ClearPolicy.LAZY])
+class TestSyncOverflowRecovery:
+    def test_overflowed_chunk_corrected_in_software(self, clear):
+        dep = build_rack(2, 1, cal=CAL)
+        (config,) = dep.controller.register(
+            [sync_program(2, clear)], server="s0", clients=["c0", "c1"],
+            value_slots=2048, counter_slots=512, linear=True)
+        a = [BIG] + [1] * 31
+        b = [BIG] + [2] * 31
+        results = run_sync_round(dep, config, [a, b])
+        for result in results:
+            assert result.values[0] == 2 * BIG        # exact 64-bit sum
+            assert result.values[1] == 3
+            assert result.overflow_chunks == 1
+
+    def test_clean_chunks_unaffected_by_overflowed_sibling(self, clear):
+        dep = build_rack(2, 1, cal=CAL)
+        (config,) = dep.controller.register(
+            [sync_program(2, clear)], server="s0", clients=["c0", "c1"],
+            value_slots=2048, counter_slots=512, linear=True)
+        # Chunk 0 overflows; chunk 1 (indices 32..63) is clean.
+        a = [BIG] * 32 + [5] * 32
+        b = [BIG] * 32 + [6] * 32
+        results = run_sync_round(dep, [config], [a, b])
+        for result in results:
+            assert result.values[0] == 2 * BIG
+            assert result.values[32] == 11
+            assert result.overflow_chunks == 1
+
+    def test_rounds_after_overflow_recover(self, clear):
+        dep = build_rack(2, 1, cal=CAL)
+        (config,) = dep.controller.register(
+            [sync_program(2, clear)], server="s0", clients=["c0", "c1"],
+            value_slots=2048, counter_slots=512, linear=True)
+        run_sync_round(dep, [config], [[BIG] * 32, [BIG] * 32], round_no=0)
+        results = run_sync_round(dep, [config], [[3] * 32, [4] * 32],
+                                 round_no=1)
+        for result in results:
+            assert result.values[0] == 7
+
+
+class TestAsyncOverflow:
+    def test_accumulator_overflow_falls_back_exactly(self):
+        reduce_prog = RIPProgram(
+            app_name="MR", add_to_field="r.kvs",
+            cntfwd=CntFwdSpec(target=ForwardTarget.SRC, threshold=0))
+        query_prog = RIPProgram(
+            app_name="MR", get_field="q.kvs",
+            cntfwd=CntFwdSpec(target=ForwardTarget.SRC, threshold=0))
+        dep = build_rack(1, 1, cal=CAL)
+        reduce_cfg, query_cfg = dep.controller.register(
+            [reduce_prog, query_prog], server="s0", clients=["c0"],
+            value_slots=1024)
+        agent = dep.client_agent(0)
+
+        def push(value):
+            done = agent.submit(Task(app=reduce_cfg, items=[("k", value)],
+                                     expect_result=False))
+            return dep.sim.run_until(done, limit=10.0)
+
+        push(BIG)                       # maps the key, near-max register
+        dep.sim.run(until=dep.sim.now + 0.05)
+        result = push(BIG)              # overflows the register
+        assert result.overflow_chunks == 1
+        dep.sim.run(until=dep.sim.now + 0.05)
+        query = agent.submit(Task(app=query_cfg, items=[("k", 0)],
+                                  expect_result=True))
+        qr = dep.sim.run_until(query, limit=10.0)
+        assert qr.values["k"] == 2 * BIG
+
+    def test_quantizer_precheck_catches_oversized_floats(self):
+        from repro.protocol import Quantizer
+        q = Quantizer(8)
+        fixed, overflowed = q.encode(123456.0)
+        assert overflowed  # the RPC layer routes these via the server

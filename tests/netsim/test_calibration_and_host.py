@@ -1,0 +1,77 @@
+"""Tests for calibration scaling and the host CPU service model."""
+
+import pytest
+
+from repro.netsim import Calibration, DEFAULT_CALIBRATION, Host, Simulator, scaled
+
+
+class TestCalibration:
+    def test_default_is_paper_testbed_scale(self):
+        cal = DEFAULT_CALIBRATION
+        assert cal.link_bandwidth_bps == 100e9
+        assert cal.w_max == 256
+        assert cal.kv_pairs_per_packet == 32
+        assert cal.memory_segments == 32
+        assert cal.segment_registers == 40_000
+        assert cal.pipeline_stages == 12
+        assert cal.map_stages == 8
+
+    def test_scaled_overrides_single_field(self):
+        cal = scaled(w_max=64)
+        assert cal.w_max == 64
+        assert cal.link_bandwidth_bps == 100e9
+
+    def test_scaled_does_not_mutate_default(self):
+        scaled(w_max=8)
+        assert DEFAULT_CALIBRATION.w_max == 256
+
+    def test_calibration_is_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_CALIBRATION.w_max = 1
+
+
+class TestHostCpuModel:
+    def test_run_on_core_charges_time(self):
+        sim = Simulator()
+        host = Host(sim, "h", cores=1, rx_cpu_cost_s=1e-3)
+        seen = []
+        host.run_on_core(2e-3, lambda _: seen.append(sim.now))
+        sim.run()
+        assert seen == [pytest.approx(2e-3)]
+
+    def test_run_on_core_zero_cost_is_immediate(self):
+        sim = Simulator()
+        host = Host(sim, "h")
+        seen = []
+        host.run_on_core(0.0, lambda _: seen.append(sim.now))
+        assert seen == [0.0]
+
+    def test_extra_work_contends_with_packet_processing(self):
+        sim = Simulator()
+        host = Host(sim, "h", cores=1, rx_cpu_cost_s=1e-3)
+        order = []
+        host.set_handler(lambda p, l: order.append(("pkt", sim.now)))
+
+        class P:
+            size_bytes = 10
+
+        host.receive(P(), None)
+        host.run_on_core(1e-3, lambda _: order.append(("work", sim.now)))
+        sim.run()
+        assert order == [("pkt", pytest.approx(1e-3)),
+                         ("work", pytest.approx(2e-3))]
+
+    def test_utilisation_accounting(self):
+        sim = Simulator()
+        host = Host(sim, "h", cores=2, rx_cpu_cost_s=1e-3)
+
+        class P:
+            size_bytes = 10
+
+        host.set_handler(lambda p, l: None)
+        for _ in range(4):
+            host.receive(P(), None)
+        sim.run()
+        # 4 packets x 1 ms over 2 cores within a 2 ms horizon: full.
+        assert host.cpu_utilisation_until(2e-3) == pytest.approx(1.0)
+        assert host.cpu_utilisation_until(4e-3) == pytest.approx(0.5)

@@ -1,0 +1,109 @@
+"""Unit tests for the FIFO store."""
+
+import pytest
+
+from repro.netsim import Simulator, Store, StoreFull
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=0)
+
+
+class TestStoreBasics:
+    def test_put_then_get_nowait(self, sim):
+        store = Store(sim)
+        store.put_nowait("a")
+        store.put_nowait("b")
+        assert store.get_nowait() == "a"
+        assert store.get_nowait() == "b"
+
+    def test_get_nowait_empty_raises(self, sim):
+        store = Store(sim)
+        with pytest.raises(LookupError):
+            store.get_nowait()
+
+    def test_len_tracks_contents(self, sim):
+        store = Store(sim)
+        assert len(store) == 0
+        store.put_nowait(1)
+        assert len(store) == 1
+        store.get_nowait()
+        assert len(store) == 0
+
+    def test_bounded_put_nowait_raises_when_full(self, sim):
+        store = Store(sim, capacity=1)
+        store.put_nowait("x")
+        with pytest.raises(StoreFull):
+            store.put_nowait("y")
+
+    def test_capacity_must_be_positive(self, sim):
+        with pytest.raises(ValueError):
+            Store(sim, capacity=0)
+
+    def test_drain_empties_store(self, sim):
+        store = Store(sim)
+        for i in range(3):
+            store.put_nowait(i)
+        assert store.drain() == [0, 1, 2]
+        assert len(store) == 0
+
+
+class TestBlockingOperations:
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        out = []
+
+        def consumer():
+            item = yield store.get()
+            out.append((sim.now, item))
+
+        sim.process(consumer())
+        sim.schedule(2.0, lambda _: store.put_nowait("late"))
+        sim.run()
+        assert out == [(2.0, "late")]
+
+    def test_getters_are_served_fifo(self, sim):
+        store = Store(sim)
+        out = []
+
+        def consumer(name):
+            item = yield store.get()
+            out.append((name, item))
+
+        sim.process(consumer("first"))
+        sim.process(consumer("second"))
+        sim.schedule(1.0, lambda _: store.put_nowait("a"))
+        sim.schedule(2.0, lambda _: store.put_nowait("b"))
+        sim.run()
+        assert out == [("first", "a"), ("second", "b")]
+
+    def test_put_blocks_when_full_and_resumes(self, sim):
+        store = Store(sim, capacity=1)
+        store.put_nowait("occupies")
+        log = []
+
+        def producer():
+            yield store.put("blocked-item")
+            log.append(("put-done", sim.now))
+
+        sim.process(producer())
+
+        def consumer():
+            yield sim.timeout(3.0)
+            item = yield store.get()
+            log.append(("got", item, sim.now))
+            item = yield store.get()
+            log.append(("got", item, sim.now))
+
+        sim.process(consumer())
+        sim.run()
+        assert ("put-done", 3.0) in log
+        assert ("got", "occupies", 3.0) in log
+        assert ("got", "blocked-item", 3.0) in log
+
+    def test_put_event_triggers_immediately_when_space(self, sim):
+        store = Store(sim, capacity=2)
+        ev = store.put("x")
+        assert ev.triggered
+        assert store.get_nowait() == "x"

@@ -1,0 +1,137 @@
+"""Unit tests for counters, time series, meters, and percentiles."""
+
+import pytest
+
+from repro.netsim import (
+    Counter,
+    LatencyRecorder,
+    RateMeter,
+    TimeSeries,
+    mean,
+    percentile,
+)
+
+
+class TestStatFunctions:
+    def test_mean_of_values(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty_is_zero(self):
+        assert mean([]) == 0.0
+
+    def test_percentile_endpoints(self):
+        data = [1, 2, 3, 4, 5]
+        assert percentile(data, 0) == 1
+        assert percentile(data, 100) == 5
+
+    def test_percentile_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_percentile_interpolates(self):
+        assert percentile([0, 10], 25) == pytest.approx(2.5)
+
+    def test_percentile_single_value(self):
+        assert percentile([7.0], 99) == 7.0
+
+    def test_percentile_unsorted_input(self):
+        assert percentile([5, 1, 3], 50) == 3
+
+    def test_percentile_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+
+class TestCounter:
+    def test_default_is_zero(self):
+        assert Counter()["missing"] == 0
+
+    def test_add_accumulates(self):
+        c = Counter()
+        c.add("pkts")
+        c.add("pkts", 2)
+        assert c["pkts"] == 3
+
+    def test_as_dict_snapshot(self):
+        c = Counter()
+        c.add("a", 5)
+        snap = c.as_dict()
+        c.add("a")
+        assert snap == {"a": 5}
+
+
+class TestTimeSeries:
+    def test_record_and_last(self):
+        ts = TimeSeries("x")
+        ts.record(1.0, 10.0)
+        ts.record(2.0, 20.0)
+        assert ts.last() == (2.0, 20.0)
+        assert len(ts) == 2
+
+    def test_out_of_order_rejected(self):
+        ts = TimeSeries()
+        ts.record(2.0, 1.0)
+        with pytest.raises(ValueError):
+            ts.record(1.0, 1.0)
+
+    def test_window_mean(self):
+        ts = TimeSeries()
+        for t, v in [(0.0, 1.0), (1.0, 3.0), (2.0, 100.0)]:
+            ts.record(t, v)
+        assert ts.window_mean(0.0, 2.0) == 2.0
+
+    def test_empty_last_is_none(self):
+        assert TimeSeries().last() is None
+
+
+class TestRateMeter:
+    def test_average_rate(self):
+        meter = RateMeter(bucket_s=1.0)
+        meter.record(0.5, 125_000_000)  # 1 Gbit in bucket 0
+        meter.record(1.5, 125_000_000)  # 1 Gbit in bucket 1
+        assert meter.average_gbps(0.0, 2.0) == pytest.approx(1.0)
+
+    def test_series_buckets(self):
+        meter = RateMeter(bucket_s=0.5)
+        meter.record(0.1, 1000)
+        meter.record(0.2, 1000)
+        meter.record(0.7, 500)
+        series = dict(meter.series())
+        assert series[0.0] == pytest.approx(2000 * 8 / 0.5 / 1e9)
+        assert series[0.5] == pytest.approx(500 * 8 / 0.5 / 1e9)
+
+    def test_empty_meter_rate_is_zero(self):
+        assert RateMeter().average_gbps() == 0.0
+
+    def test_bucket_size_validated(self):
+        with pytest.raises(ValueError):
+            RateMeter(bucket_s=0)
+
+
+class TestLatencyRecorder:
+    def test_summary_statistics(self):
+        rec = LatencyRecorder("rpc")
+        for v in [1.0, 2.0, 3.0, 4.0, 100.0]:
+            rec.record(v)
+        s = rec.summary()
+        assert s["count"] == 5
+        assert s["mean"] == pytest.approx(22.0)
+        assert s["p50"] == 3.0
+        assert s["max"] == 100.0
+
+    def test_p99_dominated_by_tail(self):
+        rec = LatencyRecorder()
+        for _ in range(99):
+            rec.record(1.0)
+        rec.record(1000.0)
+        # Interpolated p99 sits between the 98th and 99th order statistic.
+        assert rec.p(99) > 10.0
+        assert rec.p(100) == 1000.0
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().record(-1.0)
+
+    def test_empty_summary(self):
+        assert LatencyRecorder().summary() == {"count": 0}

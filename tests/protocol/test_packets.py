@@ -1,0 +1,102 @@
+"""Tests for the NetRPC packet format and size model (Figure 14)."""
+
+import pytest
+
+from repro.protocol import (
+    KV_PAIRS_PER_PACKET,
+    KVPair,
+    Packet,
+    full_bitmap,
+)
+
+
+def make_packet(n_kv=0, **kwargs):
+    kv = [KVPair(addr=i, value=i * 10) for i in range(n_kv)]
+    pkt = Packet(gaid=1, src="c0", dst="s0", kv=kv, **kwargs)
+    pkt.select_all_slots()
+    return pkt
+
+
+class TestBitmap:
+    def test_full_bitmap_widths(self):
+        assert full_bitmap(0) == 0
+        assert full_bitmap(1) == 1
+        assert full_bitmap(32) == 2**32 - 1
+
+    def test_full_bitmap_range_check(self):
+        with pytest.raises(ValueError):
+            full_bitmap(33)
+
+    def test_slot_selection(self):
+        pkt = make_packet(4)
+        pkt.bitmap = 0b1010
+        assert not pkt.slot_selected(0)
+        assert pkt.slot_selected(1)
+        assert not pkt.slot_selected(2)
+        assert pkt.slot_selected(3)
+
+    def test_select_all_slots(self):
+        pkt = make_packet(5)
+        assert all(pkt.slot_selected(i) for i in range(5))
+        assert not pkt.slot_selected(5)
+
+
+class TestSizeModel:
+    def test_linear_full_packet_matches_paper_minimum(self):
+        # 32 values with keys elided plus CntFwd fields (the SyncAgtr
+        # configuration): the paper's 192-byte packet.
+        pkt = make_packet(32, linear_base=0, is_cnf=True)
+        assert pkt.size_bytes == 192
+
+    def test_keyed_packet_with_cntfwd_matches_paper_maximum(self):
+        # Explicit keys + CntFwd fields: the paper's 320-byte configuration.
+        pkt = make_packet(32, is_cnf=True)
+        assert pkt.size_bytes == 320
+
+    def test_linear_mode_elides_keys(self):
+        keyed = make_packet(16)
+        linear = make_packet(16, linear_base=100)
+        assert keyed.size_bytes - linear.size_bytes == 16 * 4
+
+    def test_payload_adds_bytes(self):
+        small = make_packet(0)
+        big = make_packet(0, payload="x", payload_bytes=100)
+        assert big.size_bytes - small.size_bytes == 100
+
+    def test_acks_and_grants_add_bytes(self):
+        base = make_packet(0)
+        with_acks = make_packet(0, acks=(1, 2, 3))
+        with_grants = make_packet(0, grants=((1, 2), (3, 4)))
+        assert with_acks.size_bytes - base.size_bytes == 12
+        assert with_grants.size_bytes - base.size_bytes == 16
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            make_packet(0, payload_bytes=-1)
+
+    def test_too_many_kv_pairs_rejected(self):
+        with pytest.raises(ValueError):
+            make_packet(KV_PAIRS_PER_PACKET + 1)
+
+
+class TestCopySemantics:
+    def test_copy_duplicates_kv_pairs(self):
+        pkt = make_packet(3)
+        dup = pkt.copy()
+        dup.kv[0].value = 999
+        assert pkt.kv[0].value == 0
+
+    def test_copy_preserves_fields(self):
+        pkt = make_packet(2, is_cnf=True, cnt_index=7)
+        dup = pkt.copy()
+        assert dup.gaid == pkt.gaid
+        assert dup.cnt_index == 7
+        assert dup.is_cnf
+
+    def test_copy_gets_fresh_uid(self):
+        pkt = make_packet(1)
+        assert pkt.copy().uid != pkt.uid
+
+    def test_chunk_id_identifies_task_and_offset(self):
+        pkt = make_packet(1, task_id=5, offset=64)
+        assert pkt.chunk_id == (5, 64)

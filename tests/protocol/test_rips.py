@@ -1,0 +1,112 @@
+"""Tests for RIP program representation and validation."""
+
+import pytest
+
+from repro.protocol import (
+    ClearPolicy,
+    CntFwdSpec,
+    ForwardTarget,
+    RIPProgram,
+    RetryMode,
+    StreamOp,
+)
+
+
+class TestEnumParsing:
+    def test_clear_policy_parse(self):
+        assert ClearPolicy.parse("copy") is ClearPolicy.COPY
+        assert ClearPolicy.parse(" SHADOW ") is ClearPolicy.SHADOW
+        assert ClearPolicy.parse("lazy") is ClearPolicy.LAZY
+        assert ClearPolicy.parse("nop") is ClearPolicy.NOP
+
+    def test_clear_policy_unknown(self):
+        with pytest.raises(ValueError, match="unknown clear policy"):
+            ClearPolicy.parse("sometimes")
+
+    def test_forward_target_parse(self):
+        assert ForwardTarget.parse("ALL") is ForwardTarget.ALL
+        assert ForwardTarget.parse("src") is ForwardTarget.SRC
+        assert ForwardTarget.parse("Server") is ForwardTarget.SERVER
+
+    def test_forward_target_unknown(self):
+        with pytest.raises(ValueError, match="unknown CntFwd target"):
+            ForwardTarget.parse("everyone")
+
+    def test_retry_mode_parse(self):
+        assert RetryMode.parse("persist") is RetryMode.PERSIST
+        assert RetryMode.parse("FRESH") is RetryMode.FRESH
+
+    def test_retry_mode_unknown(self):
+        with pytest.raises(ValueError, match="unknown retry mode"):
+            RetryMode.parse("maybe")
+
+
+class TestCntFwdSpec:
+    def test_threshold_zero_is_unconditional_forward(self):
+        spec = CntFwdSpec(threshold=0)
+        assert not spec.counts
+
+    def test_positive_threshold_counts(self):
+        spec = CntFwdSpec(threshold=2)
+        assert spec.counts and not spec.is_test_and_set
+
+    def test_threshold_one_is_test_and_set(self):
+        assert CntFwdSpec(threshold=1).is_test_and_set
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            CntFwdSpec(threshold=-1)
+
+
+class TestRIPProgram:
+    def test_minimal_program(self):
+        prog = RIPProgram(app_name="app")
+        assert not prog.uses_get
+        assert not prog.uses_add_to
+        assert not prog.uses_map
+        assert not prog.uses_floats
+
+    def test_gradient_aggregation_program(self):
+        # The paper's Figure 3 NetFilter.
+        prog = RIPProgram(
+            app_name="DT-1", precision=8,
+            get_field="AgtrGrad.tensor", add_to_field="NewGrad.tensor",
+            clear=ClearPolicy.COPY,
+            cntfwd=CntFwdSpec(target=ForwardTarget.ALL, threshold=2,
+                              key="ClientID"))
+        assert prog.uses_get and prog.uses_add_to and prog.uses_map
+        assert prog.uses_floats
+        assert prog.cntfwd.counts
+
+    def test_empty_app_name_rejected(self):
+        with pytest.raises(ValueError):
+            RIPProgram(app_name="")
+
+    def test_bad_precision_rejected(self):
+        with pytest.raises(ValueError):
+            RIPProgram(app_name="a", precision=-1)
+        with pytest.raises(ValueError):
+            RIPProgram(app_name="a", precision=10)
+
+    def test_cntfwd_only_program_uses_map(self):
+        prog = RIPProgram(app_name="lock",
+                          cntfwd=CntFwdSpec(threshold=1,
+                                            target=ForwardTarget.SRC))
+        assert prog.uses_map
+
+    def test_describe_mentions_enabled_primitives(self):
+        prog = RIPProgram(app_name="x", get_field="R.kvs",
+                          clear=ClearPolicy.LAZY,
+                          modify_op=StreamOp.ADD, modify_para=5,
+                          cntfwd=CntFwdSpec(target=ForwardTarget.SRC,
+                                            threshold=3))
+        text = prog.describe()
+        assert "get=R.kvs" in text
+        assert "clear=lazy" in text
+        assert "modify=add(5)" in text
+        assert "cntfwd" in text and "th=3" in text
+
+    def test_programs_are_immutable(self):
+        prog = RIPProgram(app_name="x")
+        with pytest.raises(AttributeError):
+            prog.precision = 5
