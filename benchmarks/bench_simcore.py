@@ -1,0 +1,128 @@
+"""Simulation-core microbenchmarks: the perf-regression floor.
+
+Unlike the figure/table benchmarks (which reproduce paper artifacts),
+these measure the simulator itself — the layers every experiment sits
+on:
+
+* raw event dispatch (``Simulator`` heap push/pop + callback);
+* lossless-link packet forwarding (the fused fast path in
+  :class:`~repro.netsim.link.Link`);
+* an end-to-end 2-to-1 SyncAgtr aggregation round (client agent ->
+  switch pipeline -> server agent and back).
+
+Each test attaches its headline rate to ``extra_info`` so the conftest
+hook persists it to ``BENCH_simcore.json`` (merged with the standalone
+``benchmarks/runner.py`` output).  The assertions are deliberately loose
+sanity floors — absolute rates vary with the machine; regressions are
+judged by comparing the JSON artifacts across commits.
+
+Run with:  pytest benchmarks/bench_simcore.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from repro.experiments.common import run_sync_aggregation
+from repro.netsim import Host, Link, Node, Simulator
+
+RAW_EVENTS = 200_000
+LINK_PACKETS = 50_000
+AGG_VALUES = 32_768
+
+
+def drive_raw_events(n_events: int = RAW_EVENTS,
+                     population: int = 512) -> float:
+    """Pump ``n_events`` trivial callbacks through the heap; events/sec.
+
+    ``population`` self-rescheduling tickers keep the heap at a depth
+    comparable to a running experiment, so ``heappush``/``heappop`` pay
+    realistic sift costs.
+    """
+    sim = Simulator(seed=0)
+    remaining = [n_events]
+
+    def tick(_value):
+        left = remaining[0] - 1
+        remaining[0] = left
+        if left >= population:
+            sim.schedule(1e-6, tick, None)
+
+    for _ in range(population):
+        sim.schedule(1e-6, tick, None)
+    start = perf_counter()
+    sim.run()
+    elapsed = perf_counter() - start
+    assert remaining[0] <= 0
+    return n_events / elapsed
+
+
+class _BenchPacket:
+    """Minimal transmittable object (mirrors the test-suite FakePacket)."""
+
+    __slots__ = ("size_bytes",)
+
+    def __init__(self, size_bytes: int = 256):
+        self.size_bytes = size_bytes
+
+
+def drive_link(n_packets: int = LINK_PACKETS) -> float:
+    """Blast packets through one lossless link; delivered packets/sec.
+
+    Packets are offered back-to-back so all but the first traverse the
+    queued branch of the fused path — the worst case (two events per
+    packet) rather than the idle-transmitter best case (one).
+    """
+    sim = Simulator(seed=0)
+    src = Node(sim, "src")
+    dst = Host(sim, "dst", cores=1, rx_cpu_cost_s=0.0)
+    delivered = [0]
+
+    def on_packet(_pkt, _link):
+        delivered[0] += 1
+
+    dst.set_handler(on_packet)
+    link = Link(sim, src, dst, bandwidth_bps=100e9, delay_s=1e-6,
+                queue_capacity_pkts=n_packets + 1,
+                ecn_threshold_pkts=n_packets + 1)
+    src.attach_egress(link)
+    packets = [_BenchPacket() for _ in range(n_packets)]
+    start = perf_counter()
+    for packet in packets:
+        link.send(packet)
+    sim.run()
+    elapsed = perf_counter() - start
+    assert delivered[0] == n_packets
+    return n_packets / elapsed
+
+
+def drive_aggregation(n_values: int = AGG_VALUES) -> dict:
+    """One 2-to-1 SyncAgtr round; wall-clock aggregation throughput."""
+    start = perf_counter()
+    result = run_sync_aggregation(n_clients=2, n_values=n_values, seed=0)
+    elapsed = perf_counter() - start
+    return {
+        "agg_values_per_sec": 2 * n_values / elapsed,
+        "agg_goodput_gbps": result.goodput_gbps,
+        "agg_wall_s": elapsed,
+    }
+
+
+# ----------------------------------------------------------------------
+def test_raw_event_rate(benchmark):
+    rate = benchmark.pedantic(drive_raw_events, rounds=3, iterations=1)
+    benchmark.extra_info["raw_events_per_sec"] = rate
+    assert rate > 50_000
+
+
+def test_link_forwarding_rate(benchmark):
+    rate = benchmark.pedantic(drive_link, rounds=3, iterations=1)
+    benchmark.extra_info["link_pps"] = rate
+    assert rate > 20_000
+
+
+def test_sync_aggregation_rate(benchmark):
+    result = benchmark.pedantic(drive_aggregation, rounds=1, iterations=1)
+    benchmark.extra_info.update(result)
+    assert result["agg_values_per_sec"] > 5_000
+    assert result["agg_goodput_gbps"] > 0

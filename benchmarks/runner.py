@@ -1,0 +1,118 @@
+"""Standalone perf-regression runner: writes ``BENCH_simcore.json``.
+
+Measures the simulation-core rates (raw event dispatch, lossless-link
+forwarding, 2-to-1 SyncAgtr aggregation — the same drivers as
+``bench_simcore.py``) plus the wall time of the Table 5 microbenchmark
+experiment, and compares them against the recorded pre-optimization
+baseline.
+
+No pytest dependency — runnable anywhere the package imports:
+
+    PYTHONPATH=src python benchmarks/runner.py [--fast] [-o OUT.json]
+
+``--fast`` shrinks the drivers for CI smoke runs (the speedup quote is
+still computed, against proportionally meaningless baselines, so CI
+only checks the runner end-to-end, not the numbers).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from time import perf_counter
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_simcore import drive_aggregation, drive_link, drive_raw_events
+
+from repro.experiments import exp_micro
+
+# Pre-optimization baseline, recorded at the commit preceding the
+# hot-path overhaul (same machine, interleaved A/B runs via `git stash`
+# to cancel load drift; best-of-3 for each driver).
+# exp_micro wall best-of-interleaved: 4.06 / 4.16 / 4.34 s.
+BASELINE = {
+    "exp_micro_fast_wall_s": 4.06,
+    "raw_events_per_sec": 1_240_000.0,
+    "link_pps": 393_000.0,
+    "agg_values_per_sec": 153_000.0,
+}
+
+
+def measure(fast: bool = False) -> dict:
+    # Best-of-N to shed background-load noise — the baseline numbers
+    # were recorded the same way.
+    scale, rounds = (10, 1) if fast else (1, 3)
+    results = {}
+
+    rate = max(drive_raw_events(200_000 // scale) for _ in range(rounds))
+    results["raw_events_per_sec"] = rate
+    print(f"raw event dispatch : {rate:12,.0f} events/s")
+
+    rate = max(drive_link(50_000 // scale) for _ in range(rounds))
+    results["link_pps"] = rate
+    print(f"lossless link      : {rate:12,.0f} pkts/s")
+
+    agg = min((drive_aggregation(32_768 // scale) for _ in range(rounds)),
+              key=lambda r: r["agg_wall_s"])
+    results.update(agg)
+    print(f"2-to-1 aggregation : {agg['agg_values_per_sec']:12,.0f} "
+          f"values/s  ({agg['agg_goodput_gbps']:.2f} Gbps simulated)")
+
+    walls = []
+    for _ in range(rounds):
+        start = perf_counter()
+        exp_micro.run(fast=True)
+        walls.append(perf_counter() - start)
+    results["exp_micro_fast_wall_s"] = min(walls)
+    print(f"exp_micro(fast)    : {min(walls):12.2f} s wall "
+          f"(best of {rounds})")
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fast", action="store_true",
+                        help="shrunken drivers for CI smoke runs")
+    parser.add_argument("-o", "--output", default="BENCH_simcore.json",
+                        help="output JSON path (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    results = measure(fast=args.fast)
+
+    speedup = {}
+    for key, before in BASELINE.items():
+        after = results[key]
+        if key.endswith("_s"):          # wall time: lower is better
+            speedup[key] = before / after
+        else:                           # rate: higher is better
+            speedup[key] = after / before
+    headline = speedup["exp_micro_fast_wall_s"]
+    print(f"speedup vs pre-optimization baseline: "
+          f"exp_micro {headline:.2f}x, link {speedup['link_pps']:.2f}x, "
+          f"events {speedup['raw_events_per_sec']:.2f}x, "
+          f"aggregation {speedup['agg_values_per_sec']:.2f}x")
+
+    payload = {
+        "fast": args.fast,
+        "results": results,
+        "baseline_pre_optimization": BASELINE,
+        "speedup_vs_baseline": speedup,
+    }
+    out = Path(args.output)
+    existing = {}
+    if out.exists():
+        try:
+            existing = json.loads(out.read_text())
+        except ValueError:
+            existing = {}
+    existing.update(payload)
+    out.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -91,7 +91,11 @@ class FlowMonitor:
         batch: Dict[str, int] = {}
         inflight = []
         for record in records:
-            batch[record.flow_id] = batch.get(record.flow_id, 0) + 1
+            flow_id = record.flow_id
+            if flow_id in batch:
+                batch[flow_id] += 1
+            else:
+                batch[flow_id] = 1
             self.packets_observed += 1
             if len(batch) >= self.batch_flows:
                 inflight.append(stub.call_async(

@@ -52,20 +52,28 @@ class LogicalSpace:
     def __init__(self):
         self._owner: Dict[int, Any] = {}
         self._collided: Set[Any] = set()
+        # A key's outcome is permanent (ownership never changes hands,
+        # collisions are forever), so resolve() is memoizable.
+        self._memo: Dict[Any, Optional[int]] = {}
 
     def resolve(self, key: Any) -> Optional[int]:
         """Logical address for ``key``, or None if it collided."""
+        memo = self._memo
+        if key in memo:
+            return memo[key]
         if key in self._collided:
+            memo[key] = None
             return None
         addr = logical_address(key)
         owner = self._owner.get(addr)
         if owner is None:
             self._owner[addr] = key
-            return addr
-        if owner == key:
-            return addr
-        self._collided.add(key)
-        return None
+        elif owner != key:
+            self._collided.add(key)
+            memo[key] = None
+            return None
+        memo[key] = addr
+        return addr
 
     def owner_of(self, addr: int) -> Optional[Any]:
         return self._owner.get(addr)

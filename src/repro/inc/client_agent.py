@@ -38,6 +38,8 @@ from .transport import ReliableFlow
 
 __all__ = ["ClientAgent"]
 
+_MISS = object()   # sentinel: key absent from the logical-address memo
+
 
 class _ChunkState:
     """One in-flight chunk (<= 32 kv pairs) of a task."""
@@ -243,8 +245,7 @@ class ClientAgent:
             tstate.chunks[offset] = chunk
             tstate.unresolved += 1
             tstate.mapped_pairs += len(chunk_items)
-            kv = [KVPair(addr=base + index % half,
-                         value=value, mapped=True, key=index)
+            kv = [KVPair(base + index % half, value, True, index)
                   for index, value in chunk_items]
             pkt = self._base_packet(config, task, offset, kv)
             first_index = chunk_items[0][0]
@@ -273,94 +274,111 @@ class ClientAgent:
             for start in range(0, len(task.items), KV_PAIRS_PER_PACKET):
                 self._emit_map_chunk(
                     state, config, tstate,
-                    [(0, key, value) for key, value
+                    [KVPair(0, value, True, key) for key, value
                      in task.items[start:start + KV_PAIRS_PER_PACKET]],
                     start, cross=False)
             return
-        mapped_items: List[Tuple[int, Any, int]] = []   # (phys, key, value)
-        cross_items: List[Tuple[int, Any, int]] = []    # (logical, key, value)
+        # Classification builds the wire KVPair objects directly (each one
+        # ends up in exactly one packet), so emitting a chunk is a slice —
+        # no intermediate triples, no second construction pass.
+        mapped_pairs: List[KVPair] = []   # addr = granted physical
+        cross_pairs: List[KVPair] = []    # addr = logical (0 if collided)
+        # Per-item loop over every task (hot): hoist the state lookups and
+        # consult the address-space memo directly (one dict probe) so only
+        # first-seen keys pay the resolve() call.
+        resolve = state.space.resolve
+        memo_get = state.space._memo.get
+        logical_to_key = state.logical_to_key
+        usage_counts = state.usage_counts
+        grants_get = state.grants.get
+        phys_to_key = state.phys_to_key
+        has_switch = config.has_switch
+        mapped_append = mapped_pairs.append
+        cross_append = cross_pairs.append
         for key, value in task.items:
-            logical = state.space.resolve(key)
-            if logical is None or not config.has_switch:
-                cross_items.append((0, key, value))
+            logical = memo_get(key, _MISS)
+            if logical is _MISS:
+                logical = resolve(key)
+            if logical is None or not has_switch:
+                cross_append(KVPair(0, value, False, key))
                 continue
-            state.logical_to_key[logical] = key
-            state.usage_counts[logical] = \
-                state.usage_counts.get(logical, 0) + 1
-            phys = state.grants.get(logical)
-            if phys is None:
-                cross_items.append((logical, key, value))
+            logical_to_key[logical] = key
+            if logical in usage_counts:
+                usage_counts[logical] += 1
             else:
-                state.phys_to_key[phys] = key
-                mapped_items.append((phys, key, value))
+                usage_counts[logical] = 1
+            phys = grants_get(logical)
+            if phys is None:
+                cross_append(KVPair(logical, value, False, key))
+            else:
+                phys_to_key[phys] = key
+                mapped_append(KVPair(phys, value, True, key))
 
         offset = 0
         if prog.cntfwd.counts:
             # Counting applications (locks, votes): one key per packet so
             # each packet has a well-defined counter register.
-            for phys, key, value in mapped_items:
+            for pair in mapped_pairs:
                 offset = self._emit_map_chunk(
-                    state, config, tstate, [(phys, key, value)], offset,
-                    cross=False, cnt_index=phys)
-            for logical, key, value in cross_items:
+                    state, config, tstate, [pair], offset,
+                    cross=False, cnt_index=pair.addr)
+            for pair in cross_pairs:
                 offset = self._emit_map_chunk(
-                    state, config, tstate, [(logical, key, value)], offset,
-                    cross=True)
+                    state, config, tstate, [pair], offset, cross=True)
             return
 
         # Pack mapped pairs subject to the one-access-per-segment rule:
         # two pairs whose registers share a memory segment cannot ride the
         # same packet (§5.2.2 "implementation on the switch").
-        packet_items: List[Tuple[int, Any, int]] = []
+        packet_pairs: List[KVPair] = []
         used_segments: set = set()
-        for phys, key, value in mapped_items:
-            segment = phys % self.cal.memory_segments
+        mem_segments = self.cal.memory_segments
+        for pair in mapped_pairs:
+            segment = pair.addr % mem_segments
             if segment in used_segments or \
-                    len(packet_items) >= KV_PAIRS_PER_PACKET:
+                    len(packet_pairs) >= KV_PAIRS_PER_PACKET:
                 offset = self._emit_map_chunk(state, config, tstate,
-                                              packet_items, offset,
+                                              packet_pairs, offset,
                                               cross=False)
-                packet_items, used_segments = [], set()
-            packet_items.append((phys, key, value))
+                packet_pairs, used_segments = [], set()
+            packet_pairs.append(pair)
             used_segments.add(segment)
-        if packet_items:
+        if packet_pairs:
             offset = self._emit_map_chunk(state, config, tstate,
-                                          packet_items, offset, cross=False)
-        for start in range(0, len(cross_items), KV_PAIRS_PER_PACKET):
+                                          packet_pairs, offset, cross=False)
+        for start in range(0, len(cross_pairs), KV_PAIRS_PER_PACKET):
             offset = self._emit_map_chunk(
                 state, config, tstate,
-                cross_items[start:start + KV_PAIRS_PER_PACKET],
+                cross_pairs[start:start + KV_PAIRS_PER_PACKET],
                 offset, cross=True)
 
     def _emit_map_chunk(self, state: _AppClientState, config: AppConfig,
                         tstate: _TaskState,
-                        triples: List[Tuple[int, Any, int]], offset: int,
+                        pairs: List[KVPair], offset: int,
                         cross: bool, cnt_index: int = 0) -> int:
-        if not triples:
+        if not pairs:
             return offset
         task = tstate.task
         # Counting applications (locks, votes) complete on the threshold
         # result, never on a bare transport ACK: an absorbed attempt must
         # keep its chunk pending (blocking-lock semantics).
         awaiting = task.expect_result or config.program.cntfwd.counts
-        chunk = _ChunkState(offset, [(k, v) for _, k, v in triples],
+        chunk = _ChunkState(offset, [(p.key, p.value) for p in pairs],
                             mapped=not cross, awaiting_result=awaiting)
         tstate.chunks[offset] = chunk
         tstate.unresolved += 1
         if cross:
-            tstate.fallback_pairs += len(triples)
+            tstate.fallback_pairs += len(pairs)
         else:
-            tstate.mapped_pairs += len(triples)
-        kv = [KVPair(addr=addr, value=value, mapped=not cross, key=key)
-              for addr, key, value in triples]
-        pkt = self._base_packet(config, task, offset, kv)
+            tstate.mapped_pairs += len(pairs)
+        pkt = self._base_packet(config, task, offset, pairs)
         pkt.is_cross = cross
         if not cross and config.program.cntfwd.counts:
             pkt.is_cnf = True
             pkt.cnt_index = cnt_index
         state.round_chunks[(config.gaid, task.round, offset)] = task.task_id
         state.pick_flow().enqueue(pkt)
-        return offset + len(triples)
+        return offset + len(pairs)
 
     def _base_packet(self, config: AppConfig, task: Task, offset: int,
                      kv: List[KVPair]) -> Packet:

@@ -32,8 +32,10 @@ from repro.protocol import (
     KVPair,
     Packet,
     RIPProgram,
+    StreamOp,
 )
 
+from .addressing import logical_address
 from .app import AppConfig
 from .cache import make_policy
 from .incmap import SoftwareINCMap
@@ -111,6 +113,9 @@ class _AppServerState:
         self.sync_emitted: Set[Tuple[int, int]] = set()
         self.overflow_buf: Dict[Tuple[int, int], Dict[str, list]] = {}
         self.key_of_logical: Dict[int, Any] = {}
+        # Memoized per-key mapping outcome: the key's logical address when
+        # it owns it, -1 when it hash-collided (software path forever).
+        self.map_outcome: Dict[Any, int] = {}
         self.on_round: Optional[Callable[[int, Dict[Any, int]], None]] = None
         self.on_data: Optional[Callable[[str, Packet], None]] = None
         self.on_call: Optional[Callable[[str, int, Any], Any]] = None
@@ -375,13 +380,28 @@ class ServerAgent:
         replay_pairs: List[Tuple[int, Any, int]] = []
         grants: List[Tuple[int, int]] = []
         absorbed = False
-        from repro.protocol import StreamOp
+        self.stats["software_pairs"] += len(pkt.kv)
+        # Hot per-kv loop: the common already-granted case is inlined
+        # (memoized outcome + manager lookup); misses, evicted mappings,
+        # and fresh grants fall back to the full _mapping_for path.
+        switch_path = state.mm is not None and config.has_switch
+        mapping_for = self._mapping_for
+        outcome_get = state.map_outcome.get
+        mm_lookup = state.mm.lookup if state.mm is not None else None
+        replay_append = replay_pairs.append
         for kv in pkt.kv:
             key = kv.key
-            self.stats["software_pairs"] += 1
-            phys = self._mapping_for(state, config, key, grants)
-            if phys is not None and config.has_switch:
-                replay_pairs.append((phys, key, kv.value))
+            phys = None
+            if switch_path:
+                outcome = outcome_get(key)
+                if outcome is None:
+                    phys = mapping_for(state, config, key, grants)
+                elif outcome >= 0:
+                    phys = mm_lookup(outcome)
+                    if phys is None:
+                        phys = mapping_for(state, config, key, grants)
+            if phys is not None:
+                replay_append((phys, key, kv.value))
                 continue
             if prog.modify_op is not StreamOp.NOP:
                 kv.value = state.soft.modify(prog.modify_op, [kv.value],
@@ -458,11 +478,15 @@ class ServerAgent:
         """Existing or fresh physical mapping for ``key`` (None = software)."""
         if state.mm is None or not config.has_switch:
             return None
-        from .addressing import logical_address
-        logical = logical_address(key)
-        owner = state.key_of_logical.setdefault(logical, key)
-        if owner != key:
+        outcome = state.map_outcome.get(key)
+        if outcome is None:
+            logical = logical_address(key)
+            owner = state.key_of_logical.setdefault(logical, key)
+            outcome = logical if owner == key else -1
+            state.map_outcome[key] = outcome
+        if outcome < 0:
             return None  # collision: this key lives in software forever
+        logical = outcome
         existing = state.mm.lookup(logical)
         if existing is not None:
             return existing
@@ -600,7 +624,6 @@ class ServerAgent:
         """Exact register contribution of a (possibly sticky) mapped key."""
         if state.mm is None:
             return 0
-        from .addressing import logical_address
         phys = state.mm.lookup(logical_address(key))
         if phys is None:
             return 0

@@ -25,6 +25,8 @@ from .congestion import make_controller
 
 __all__ = ["ReliableFlow"]
 
+_INF = float("inf")
+
 
 class _PendingEntry:
     __slots__ = ("packet", "attempts", "deadline", "sent_at")
@@ -62,6 +64,7 @@ class ReliableFlow:
 
         self._next_seq = 0
         self._send_base = 0              # lowest unacknowledged seq
+        self._timer_at = _INF            # earliest scheduled RTO wakeup
         self._queue: Deque[Packet] = deque()
         self._pending: Dict[int, _PendingEntry] = {}
         self._acked: set = set()
@@ -121,13 +124,40 @@ class ReliableFlow:
             self._pending[packet.seq] = _PendingEntry(packet, now + rto, now)
             self.stats["sent"] += 1
         self.host.send(wire, self.next_hop)
-        self.sim.schedule(rto, self._check_timeout, packet.seq)
+        self._arm_timer(now + rto)
 
     # ------------------------------------------------------------------
-    def _check_timeout(self, seq: int) -> None:
-        entry = self._pending.get(seq)
-        if entry is None or self.sim.now < entry.deadline - 1e-12:
-            return  # acked meanwhile, or a newer timer supersedes this one
+    # RTO bookkeeping runs on one lazy timer per flow instead of one
+    # scheduled event per transmission: the flow keeps a single wakeup at
+    # the earliest pending deadline.  ACKs never touch the timer; a
+    # wakeup that finds nothing expired (entries acked or deadlines moved
+    # by backoff) simply re-arms at the new minimum.  Expired entries are
+    # processed in seq (insertion) order, which is exactly the order the
+    # per-packet timers of the old scheme fired in for equal deadlines.
+    def _arm_timer(self, deadline: float) -> None:
+        if deadline < self._timer_at:
+            self._timer_at = deadline
+            self.sim.schedule_at(deadline, self._on_timer, deadline)
+
+    def _on_timer(self, when: float) -> None:
+        if when != self._timer_at:
+            return  # superseded by an earlier wakeup
+        self._timer_at = _INF
+        now = self.sim.now
+        pending = self._pending
+        expired = [seq for seq, e in pending.items()
+                   if now >= e.deadline - 1e-12]
+        for seq in expired:
+            # Processing one expiry can mutate _pending (abandon, pump,
+            # fresh retries), so re-validate each candidate.
+            entry = pending.get(seq)
+            if entry is None or now < entry.deadline - 1e-12:
+                continue
+            self._expire(seq, entry)
+        if pending:
+            self._arm_timer(min(e.deadline for e in pending.values()))
+
+    def _expire(self, seq: int, entry: _PendingEntry) -> None:
         self.cc.on_timeout(self.sim.now)
         if entry.attempts >= self.MAX_ATTEMPTS:
             self._abandon(seq, entry)

@@ -99,7 +99,20 @@ class ScriptedLoss(LossModel):
 
 
 class Link:
-    """Unidirectional link with a drop-tail queue and ECN marking."""
+    """Unidirectional link with a drop-tail queue and ECN marking.
+
+    Lossless links (the overwhelmingly common case) take a *fused* fast
+    path: the transmitter's busy-until time is tracked analytically in
+    ``_free_at`` and a packet that finds the transmitter idle costs a
+    single scheduled event (its delivery), instead of the classic
+    serialization-done + propagation-done pair.  Packets that queue get
+    one extra ``_start_next`` event at their serialization start, which
+    keeps queue occupancy — and therefore drop-tail and ECN decisions —
+    identical to the two-event model at every instant.  Links with a
+    loss model installed fall back to the two-event path because the
+    loss decision must be drawn from the simulator RNG at serialization
+    end.
+    """
 
     def __init__(self, sim: Simulator, src: Any, dst: Any,
                  bandwidth_bps: float, delay_s: float,
@@ -120,14 +133,28 @@ class Link:
         self.ecn_threshold_pkts = (ecn_threshold_pkts
                                    if ecn_threshold_pkts is not None
                                    else max(1, queue_capacity_pkts // 8))
-        self.loss = loss or NoLoss()
         self.name = name or f"{getattr(src, 'name', src)}->" \
                             f"{getattr(dst, 'name', dst)}"
         self._queue: Deque[Any] = deque()
-        self._busy = False
+        self._busy = False          # legacy (lossy) path state
+        self._free_at = 0.0         # fused path: transmitter busy until
+        self._pop_pending = False   # fused path: _start_next scheduled
         self.stats = Counter()
+        self.loss = loss or NoLoss()
 
     # ------------------------------------------------------------------
+    @property
+    def loss(self) -> LossModel:
+        return self._loss
+
+    @loss.setter
+    def loss(self, model: LossModel) -> None:
+        # Swap while the link is idle (deployment loss injection happens
+        # at setup time); a swap mid-serialization would let the two
+        # paths overlap.
+        self._loss = model
+        self._fused = type(model) is NoLoss
+
     @property
     def queue_len(self) -> int:
         return len(self._queue)
@@ -137,19 +164,86 @@ class Link:
 
         Returns ``False`` if the packet was tail-dropped at the queue.
         """
-        self.stats.add("offered_pkts")
-        if len(self._queue) >= self.queue_capacity_pkts:
-            self.stats.add("queue_drops")
+        stats = self.stats
+        if stats.enabled:
+            counts = stats._counts
+            try:
+                counts["offered_pkts"] += 1
+            except KeyError:
+                counts["offered_pkts"] = 1
+        queue = self._queue
+        qlen = len(queue)
+        if qlen >= self.queue_capacity_pkts:
+            stats.add("queue_drops")
             return False
-        if len(self._queue) >= self.ecn_threshold_pkts and \
-                hasattr(packet, "ecn"):
+        if qlen >= self.ecn_threshold_pkts and hasattr(packet, "ecn"):
             packet.ecn = True
-            self.stats.add("ecn_marks")
-        self._queue.append(packet)
+            stats.add("ecn_marks")
+        if self._fused:
+            sim = self.sim
+            now = sim.now
+            if not qlen and now >= self._free_at:
+                # Idle transmitter: serialization starts immediately and
+                # the single event is the delivery itself.  (size_bytes is
+                # a caching property; read the cache slot directly.)
+                size = getattr(packet, "_size", None) or packet.size_bytes
+                wire_bytes = size + ETHERNET_OVERHEAD_BYTES
+                free = now + wire_bytes * 8.0 / self.bandwidth_bps
+                self._free_at = free
+                sim.schedule_at(free + self.delay_s, self._deliver_fused,
+                                packet)
+            else:
+                queue.append(packet)
+                if not self._pop_pending:
+                    self._pop_pending = True
+                    sim.schedule_at(self._free_at, self._start_next, None)
+            return True
+        queue.append(packet)
         if not self._busy:
             self._transmit_next()
         return True
 
+    # -- fused (lossless) path -----------------------------------------
+    def _start_next(self, _unused: Any) -> None:
+        # Fires at a serialization start (== previous serialization end),
+        # the same instant the two-event model pops the queue.  Assigning
+        # delivery-event sequence numbers here (not at enqueue) keeps
+        # same-timestamp tie-breaking identical to the two-event model;
+        # scheduling every queued delivery at enqueue time was measurably
+        # faster but reordered equal-time events.
+        queue = self._queue
+        packet = queue.popleft()
+        sim = self.sim
+        size = getattr(packet, "_size", None) or packet.size_bytes
+        wire_bytes = size + ETHERNET_OVERHEAD_BYTES
+        free = sim.now + wire_bytes * 8.0 / self.bandwidth_bps
+        self._free_at = free
+        sim.schedule_at(free + self.delay_s, self._deliver_fused, packet)
+        if queue:
+            sim.schedule_at(free, self._start_next, None)
+        else:
+            self._pop_pending = False
+
+    def _deliver_fused(self, packet: Any) -> None:
+        stats = self.stats
+        if stats.enabled:
+            counts = stats._counts
+            size = getattr(packet, "_size", None) or packet.size_bytes
+            try:
+                counts["sent_pkts"] += 1
+            except KeyError:
+                counts["sent_pkts"] = 1
+            try:
+                counts["sent_bytes"] += size
+            except KeyError:
+                counts["sent_bytes"] = size
+            try:
+                counts["delivered_pkts"] += 1
+            except KeyError:
+                counts["delivered_pkts"] = 1
+        self.dst.receive(packet, self)
+
+    # -- legacy (lossy) path -------------------------------------------
     def _transmit_next(self) -> None:
         if not self._queue:
             self._busy = False
@@ -163,7 +257,7 @@ class Link:
     def _tx_done(self, packet: Any) -> None:
         self.stats.add("sent_pkts")
         self.stats.add("sent_bytes", packet.size_bytes)
-        if self.loss.drops(packet, self.sim.rng):
+        if self._loss.drops(packet, self.sim.rng):
             self.stats.add("wire_drops")
         else:
             self.sim.schedule(self.delay_s, self._deliver, packet)

@@ -30,6 +30,9 @@ from .events import AllOf, AnyOf, Event, EventFailed, Interrupt, Timeout
 
 __all__ = ["Simulator", "Process", "SimulationError"]
 
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
 
 class SimulationError(RuntimeError):
     """Raised for fatal simulator misuse (e.g. running a finished sim)."""
@@ -66,19 +69,13 @@ class Process(Event):
         self.sim.schedule(0.0, self._throw, Interrupt(cause))
 
     def _resume(self, send_value: Any) -> None:
+        # The generator is driven directly (no per-step closure): this
+        # method runs once per process step, on the simulator's hottest
+        # path.
         if self.triggered:
             return
-        self._step(lambda: self.generator.send(send_value))
-
-    def _throw(self, exc: BaseException) -> None:
-        if self.triggered:
-            return
-        self._waiting_on = None
-        self._step(lambda: self.generator.throw(exc))
-
-    def _step(self, advance: Callable[[], Any]) -> None:
         try:
-            target = advance()
+            target = self.generator.send(send_value)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
@@ -86,6 +83,23 @@ class Process(Event):
             # An un-caught interrupt terminates the process as failed.
             self.fail(exc)
             return
+        self._wait_on(target)
+
+    def _throw(self, exc: BaseException) -> None:
+        if self.triggered:
+            return
+        self._waiting_on = None
+        try:
+            target = self.generator.throw(exc)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt as cause:
+            self.fail(cause)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
         if not isinstance(target, Event):
             raise TypeError(
                 f"process {self.name!r} yielded {target!r}; expected an Event"
@@ -130,9 +144,23 @@ class Simulator:
         """Run ``callback(value)`` after ``delay`` simulated seconds."""
         if delay < 0:
             raise ValueError(f"delay must be >= 0, got {delay}")
-        self._sequence += 1
-        heapq.heappush(self._heap, (self.now + delay, self._sequence,
-                                    callback, value))
+        self._sequence = seq = self._sequence + 1
+        _heappush(self._heap, (self.now + delay, seq, callback, value))
+
+    def schedule_at(self, when: float, callback: Callable[[Any], None],
+                    value: Any = None) -> None:
+        """Run ``callback(value)`` at absolute time ``when``.
+
+        Equivalent to :meth:`schedule` with ``delay = when - now`` but
+        free of the float round-trip, so a caller can hit an exact
+        timestamp computed elsewhere (the link fast path relies on this
+        to keep delivery times bit-identical to the two-event model).
+        """
+        if when < self.now:
+            raise ValueError(
+                f"cannot schedule at {when}; clock already at {self.now}")
+        self._sequence = seq = self._sequence + 1
+        _heappush(self._heap, (when, seq, callback, value))
 
     def schedule_event(self, delay: float, event: Event, value: Any = None
                        ) -> None:
@@ -168,7 +196,7 @@ class Simulator:
     # ------------------------------------------------------------------
     def step(self) -> None:
         """Execute the next pending callback, advancing the clock."""
-        when, _seq, callback, value = heapq.heappop(self._heap)
+        when, _seq, callback, value = _heappop(self._heap)
         if when < self.now:  # pragma: no cover - defensive
             raise SimulationError("event scheduled in the past")
         self.now = when
@@ -188,10 +216,16 @@ class Simulator:
         if until is not None and until < self.now:
             raise SimulationError(
                 f"cannot run until {until}; clock already at {self.now}")
-        while self._heap:
-            if until is not None and self._heap[0][0] > until:
+        # The dispatch loop is inlined (no self.step() call) — it executes
+        # once per event and dominates every experiment's wall time.
+        heap = self._heap
+        pop = _heappop
+        while heap:
+            if until is not None and heap[0][0] > until:
                 break
-            self.step()
+            when, _seq, callback, value = pop(heap)
+            self.now = when
+            callback(value)
         if until is not None:
             self.now = max(self.now, until)
 
@@ -202,15 +236,19 @@ class Simulator:
         hit) before the event triggers, and :class:`EventFailed` if the
         event fails.
         """
-        while not event.triggered:
-            if not self._heap:
+        heap = self._heap
+        pop = _heappop
+        while not event._triggered:
+            if not heap:
                 raise SimulationError(
                     "simulation ran out of events before the awaited event "
                     "triggered (deadlock?)")
-            if limit is not None and self._heap[0][0] > limit:
+            if limit is not None and heap[0][0] > limit:
                 raise SimulationError(
                     f"awaited event did not trigger before t={limit}")
-            self.step()
+            when, _seq, callback, value = pop(heap)
+            self.now = when
+            callback(value)
         if not event.ok:
             raise EventFailed(event.value)
         return event.value

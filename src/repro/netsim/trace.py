@@ -40,13 +40,36 @@ def percentile(values: Sequence[float], pct: float) -> float:
 
 
 class Counter:
-    """Named integer counters with dict-style access."""
+    """Named integer counters with dict-style access.
+
+    ``add`` sits on the per-packet hot path (several calls per hop), so
+    the class is slotted and the increment avoids a ``dict.get`` in the
+    common already-present-key case.  Bulk benchmark drivers that do not
+    read the counters can :meth:`disable` an instance, turning ``add``
+    into a near-no-op.
+    """
+
+    __slots__ = ("_counts", "enabled")
 
     def __init__(self):
         self._counts: Dict[str, float] = {}
+        self.enabled = True
 
     def add(self, key: str, amount: float = 1) -> None:
-        self._counts[key] = self._counts.get(key, 0) + amount
+        if not self.enabled:
+            return
+        counts = self._counts
+        try:
+            counts[key] += amount
+        except KeyError:
+            counts[key] = amount
+
+    def disable(self) -> None:
+        """Stop recording (bulk-run fast path); existing counts remain."""
+        self.enabled = False
+
+    def enable(self) -> None:
+        self.enabled = True
 
     def __getitem__(self, key: str) -> float:
         return self._counts.get(key, 0)

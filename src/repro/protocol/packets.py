@@ -14,7 +14,7 @@ keys, plain gRPC fields) and only contributes its byte count.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Any, List, Optional, Tuple
 
 from .ops import StreamOp
@@ -43,7 +43,7 @@ def full_bitmap(n: int = KV_PAIRS_PER_PACKET) -> int:
     return (1 << n) - 1
 
 
-@dataclass
+@dataclass(slots=True)
 class KVPair:
     """One <key/index, value> tuple in the packet's data section.
 
@@ -125,6 +125,12 @@ class Packet:
     sent_at: float = 0.0
     is_retransmit: bool = False
 
+    # Cached wire size (plain class attribute, not a dataclass field).
+    # Every size-affecting field is settled before a packet first hits a
+    # link, so the first ``size_bytes`` read freezes the value; ``copy``
+    # drops the cache.
+    _size = None
+
     def __post_init__(self):
         if len(self.kv) > KV_PAIRS_PER_PACKET:
             raise ValueError(
@@ -137,16 +143,20 @@ class Packet:
     @property
     def size_bytes(self) -> int:
         """On-the-wire size under the paper's packing optimisations."""
-        size = _BASE_HEADER_BYTES
-        size += len(self.kv) * _BYTES_PER_VALUE
+        size = self._size
+        if size is not None:
+            return size
+        nkv = len(self.kv)
+        size = _BASE_HEADER_BYTES + nkv * _BYTES_PER_VALUE
         if self.linear_base is None:
-            size += len(self.kv) * _BYTES_PER_KEY
+            size += nkv * _BYTES_PER_KEY
         if self.is_cnf:
             size += _CNTFWD_FIELD_BYTES
         size += len(self.grants) * _GRANT_BYTES
         size += len(self.acks) * _ACK_SEQ_BYTES
         size += len(self.revokes) * _ACK_SEQ_BYTES
         size += self.payload_bytes
+        self._size = size
         return size
 
     @property
@@ -167,8 +177,19 @@ class Packet:
 
     def copy(self) -> "Packet":
         """Deep-enough copy for multicast/retransmission (kv duplicated)."""
-        dup = replace(self, kv=[p.copy() for p in self.kv],
-                      uid=next(_packet_ids))
+        # Hand-rolled (no dataclasses.replace): copy() sits on the
+        # retransmit and multicast hot paths and replace() re-runs the
+        # 30-field __init__.  Non-field state (the size cache, the
+        # switch's recirculation mark) deliberately does not carry over,
+        # matching replace() semantics.
+        dup = object.__new__(Packet)
+        state = dict(self.__dict__)
+        state["kv"] = [KVPair(p.addr, p.value, p.mapped, p.key)
+                       for p in self.kv]
+        state["uid"] = next(_packet_ids)
+        state.pop("_size", None)
+        state.pop("_recirculated", None)
+        dup.__dict__.update(state)
         return dup
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -24,6 +24,7 @@ from typing import Optional, Tuple
 
 from repro.protocol import (
     INT32_MAX,
+    INT32_MIN,
     ClearPolicy,
     ForwardTarget,
     Packet,
@@ -131,48 +132,78 @@ class RIPPipeline:
     # ------------------------------------------------------------------
     def _data_path(self, pkt: Packet, prog: RIPProgram, entry: AppEntry,
                    retrans: bool) -> Verdict:
+        # Per-kv loops below run once per data packet per switch — the
+        # hottest switchsim code.  Attribute lookups are hoisted and the
+        # bitmap/address tests inlined (no slot_selected/_local calls).
         regs = self.registers
         recirc = False
+        kv_list = pkt.kv
+        bitmap = pkt.bitmap
+        base = self.phys_base
+        capacity = regs.capacity
 
         # --- Stream.modify (stateless; the edge switch applies it once) --
         if prog.modify_op is not StreamOp.NOP and entry.edge:
-            for index, kv in enumerate(pkt.kv):
-                if not pkt.slot_selected(index):
+            op = prog.modify_op
+            para = prog.modify_para
+            for index, kv in enumerate(kv_list):
+                if not bitmap >> index & 1:
                     continue
-                kv.value, overflowed = apply_stream_op(
-                    prog.modify_op, kv.value, prog.modify_para)
+                kv.value, overflowed = apply_stream_op(op, kv.value, para)
                 if overflowed:
                     pkt.is_of = True
 
         # --- shadow mirror clear (costs a recirculation) ----------------
         if prog.clear is ClearPolicy.SHADOW and pkt.shadow_offset:
             if not retrans:
-                for index, kv in enumerate(pkt.kv):
-                    if kv.mapped and pkt.slot_selected(index):
-                        local = self._local(kv.addr + pkt.shadow_offset)
-                        if local is not None:
-                            regs.clear(local)
+                offset = pkt.shadow_offset - base
+                clear = regs.clear
+                for index, kv in enumerate(kv_list):
+                    if kv.mapped and bitmap >> index & 1:
+                        local = kv.addr + offset
+                        if 0 <= local < capacity:
+                            clear(local)
             recirc = True
 
         # --- Map.addTo ----------------------------------------------------
+        # The register update is inlined (one RegisterFile.add call per kv
+        # costs more than the arithmetic); semantics mirror
+        # RegisterFile.add exactly, and the local-range check above
+        # replaces its bounds check.
         if prog.uses_add_to and not retrans:
-            for index, kv in enumerate(pkt.kv):
-                if kv.mapped and pkt.slot_selected(index):
-                    local = self._local(kv.addr)
-                    if local is not None and regs.add(local, kv.value):
-                        kv.value = INT32_MAX
-                        pkt.is_of = True
+            values = regs._values
+            sticky_set = regs._sticky_overflow
+            for index, kv in enumerate(kv_list):
+                if kv.mapped and bitmap >> index & 1:
+                    local = kv.addr - base
+                    if 0 <= local < capacity:
+                        if local in sticky_set:
+                            kv.value = INT32_MAX
+                            pkt.is_of = True
+                            continue
+                        result = values.get(local, 0) + kv.value
+                        if result > INT32_MAX or result < INT32_MIN:
+                            sticky_set.add(local)
+                            kv.value = INT32_MAX
+                            pkt.is_of = True
+                        elif result:
+                            values[local] = result
+                        else:
+                            values.pop(local, None)
 
         # --- Map.get --------------------------------------------------------
         if prog.uses_get:
-            for index, kv in enumerate(pkt.kv):
-                if kv.mapped and pkt.slot_selected(index):
-                    local = self._local(kv.addr)
-                    if local is None:
-                        continue
-                    kv.value = regs.read(local)
-                    if regs.is_sticky(local):
-                        pkt.is_of = True
+            values = regs._values
+            sticky_set = regs._sticky_overflow
+            for index, kv in enumerate(kv_list):
+                if kv.mapped and bitmap >> index & 1:
+                    local = kv.addr - base
+                    if 0 <= local < capacity:
+                        if local in sticky_set:
+                            kv.value = INT32_MAX
+                            pkt.is_of = True
+                        else:
+                            kv.value = values.get(local, 0)
 
         if not entry.edge:
             # Upstream switch in a chain: local pairs are done, the

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Tuple
 
-from repro.protocol import INT32_MAX, saturating_add
+from repro.protocol import INT32_MAX, INT32_MIN
 
 __all__ = ["RegisterFile", "StageLayout"]
 
@@ -89,6 +89,18 @@ class RegisterFile:
             return INT32_MAX
         return self._values.get(addr, 0)
 
+    def read_for_get(self, addr: int) -> Tuple[int, bool]:
+        """Fused Map.get read: ``(value_with_sentinel, sticky)``.
+
+        One call instead of a ``read`` + ``is_sticky`` pair in the
+        pipeline's per-kv loop.
+        """
+        if addr < 0 or addr >= self.capacity:
+            self._check(addr)
+        if addr in self._sticky_overflow:
+            return INT32_MAX, True
+        return self._values.get(addr, 0), False
+
     def read_raw(self, addr: int) -> int:
         """Control-plane read: the exact stored value, ignoring sticky bits."""
         self._check(addr)
@@ -101,18 +113,21 @@ class RegisterFile:
         stored value is left unchanged and the sticky bit is set, so the
         packet's contribution must be replayed through the server agent.
         """
-        self._check(addr)
+        # Hot path (one call per mapped kv pair per packet): the bounds
+        # check and saturating_add are inlined.
+        if addr < 0 or addr >= self.capacity:
+            self._check(addr)
         if addr in self._sticky_overflow:
             return True
-        current = self._values.get(addr, 0)
-        result, overflowed = saturating_add(current, value)
-        if overflowed:
+        values = self._values
+        result = values.get(addr, 0) + value
+        if result > INT32_MAX or result < INT32_MIN:
             self._sticky_overflow.add(addr)
             return True
         if result:
-            self._values[addr] = result
+            values[addr] = result
         else:
-            self._values.pop(addr, None)
+            values.pop(addr, None)
         return False
 
     def write(self, addr: int, value: int) -> None:

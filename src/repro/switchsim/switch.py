@@ -152,29 +152,41 @@ class NetRPCSwitch(PlainSwitch):
     # data plane
     # ------------------------------------------------------------------
     def receive(self, packet: Any, link: Optional[Link]) -> None:
-        self.stats.add("rx_pkts")
+        # Per-packet hot path: counter increments inlined, lookups hoisted.
+        sim = self.sim
+        stats = self.stats
+        counts = stats._counts if stats.enabled else None
+        if counts is not None:
+            try:
+                counts["rx_pkts"] += 1
+            except KeyError:
+                counts["rx_pkts"] = 1
         if not isinstance(packet, Packet):
-            self.sim.schedule(self.cal.switch_pipeline_delay_s,
-                              self._forward, packet)
+            sim.schedule(self.cal.switch_pipeline_delay_s,
+                         self._forward, packet)
             return
         entry = self.admission.lookup(packet.gaid)
         if entry is None:
             # Unregistered applications are forwarded as normal traffic.
-            self.stats.add("unadmitted_pkts")
-            self.sim.schedule(self.cal.switch_pipeline_delay_s,
-                              self._forward, packet)
+            stats.add("unadmitted_pkts")
+            sim.schedule(self.cal.switch_pipeline_delay_s,
+                         self._forward, packet)
             return
         if packet.ecn and not (packet.is_sa or packet.is_ack):
             # Only client-data-direction congestion feeds the INC map's
             # ECN state; server-return congestion is echoed end-to-end by
             # the clients' ACKs instead.
-            self._ecn_marked_at[packet.gaid] = self.sim.now
-        verdict = self.pipeline.process(packet, entry, self.sim.now)
+            self._ecn_marked_at[packet.gaid] = sim.now
+        verdict = self.pipeline.process(packet, entry, sim.now)
         if verdict.retransmission:
-            self.stats.add("retransmissions_detected")
-        self.stats.add("inc_pkts")
-        self.sim.schedule(self.cal.switch_pipeline_delay_s,
-                          self._apply_verdict, (packet, verdict))
+            stats.add("retransmissions_detected")
+        if counts is not None:
+            try:
+                counts["inc_pkts"] += 1
+            except KeyError:
+                counts["inc_pkts"] = 1
+        sim.schedule(self.cal.switch_pipeline_delay_s,
+                     self._apply_verdict, (packet, verdict))
 
     # ------------------------------------------------------------------
     def _apply_verdict(self, pair: Tuple[Packet, Verdict]) -> None:

@@ -10,15 +10,20 @@ against.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Dict, Iterator, List
+from bisect import bisect_left
+from collections import Counter
+from typing import Dict, Iterator, List, NamedTuple
 
 __all__ = ["FlowRecord", "SyntheticTrace"]
 
 
-@dataclass(frozen=True)
-class FlowRecord:
-    """One packet observation: a five-tuple-ish flow id and a size."""
+class FlowRecord(NamedTuple):
+    """One packet observation: a five-tuple-ish flow id and a size.
+
+    A NamedTuple rather than a frozen dataclass: one record is created
+    per monitored packet, and frozen-dataclass construction pays an
+    ``object.__setattr__`` per field.
+    """
 
     flow_id: str
     size_bytes: int
@@ -55,17 +60,26 @@ class SyntheticTrace:
         return f"{src}:{rng.randrange(65536)}->{dst}:{rng.randrange(65536)}"
 
     def packets(self, count: int) -> Iterator[FlowRecord]:
-        import bisect
+        # Hot generator (one record per monitored packet); bindings are
+        # hoisted, and the RNG draw order (uniform, then size choice) is
+        # part of the deterministic-trace contract.
+        rng_random = self.rng.random
+        getrandbits = self.rng.getrandbits
+        cum = self._cum
+        flow_ids = self._flow_ids
+        last = self.n_flows - 1
+        sizes = (64, 128, 256, 512, 1024, 1500)
         for _ in range(count):
-            u = self.rng.random()
-            index = bisect.bisect_left(self._cum, u)
-            size = self.rng.choice((64, 128, 256, 512, 1024, 1500))
-            yield FlowRecord(self._flow_ids[min(index, self.n_flows - 1)],
-                             size)
+            index = bisect_left(cum, rng_random())
+            # Inlined ``rng.choice(sizes)``: rejection-sample 3 bits until
+            # < 6, the exact draw pattern of Random._randbelow, so the
+            # generated stream matches the pre-inline trace bit for bit.
+            size_index = getrandbits(3)
+            while size_index > 5:
+                size_index = getrandbits(3)
+            yield FlowRecord(flow_ids[index if index < last else last],
+                             sizes[size_index])
 
     def exact_counts(self, records) -> Dict[str, int]:
         """Ground-truth per-flow packet counts for accuracy checks."""
-        counts: Dict[str, int] = {}
-        for record in records:
-            counts[record.flow_id] = counts.get(record.flow_id, 0) + 1
-        return counts
+        return dict(Counter(record.flow_id for record in records))

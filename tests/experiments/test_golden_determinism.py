@@ -1,0 +1,75 @@
+"""Seed-determinism golden test for the optimized hot path.
+
+Runs a 2-to-1 SyncAgtr round twice with the same seed and asserts the
+two runs are indistinguishable, then pins the results to golden values
+snapshotted from the pre-optimization simulator.  The hot-path work
+(fused link events, inlined counters, memoized addressing) was required
+to be *bit-identical* — same float timestamps, same event tie-breaking,
+same counter values — and this test is the tripwire: an optimization
+that reorders same-timestamp events or perturbs a float computation
+shifts ``sim.now`` or the event count and fails here.
+"""
+
+from repro.control import build_rack
+from repro.experiments.common import run_sync_aggregation
+
+# Golden values captured on the pre-optimization simulator (and
+# verified unchanged after the overhaul): 2 clients x 4096 values,
+# seed 7.  Every *observable* quantity — timestamps, goodput, per-node
+# counters — is bit-identical across the rewrite.
+GOLDEN_GOODPUT_GBPS = 17.283429680577207
+GOLDEN_FINAL_TIME_S = 7.583680000000015e-06
+# The internal event count is the one number that legitimately moved:
+# the fused link path schedules one event per idle-transmitter packet
+# instead of two (pre-optimization: 2714).  Pinned so an accidental
+# return to the two-event model — or a new per-packet event — is caught.
+GOLDEN_EVENT_COUNT = 2186
+GOLDEN_SWITCH_STATS = {"cntfwd_absorbed": 128, "inc_pkts": 384,
+                       "multicasts": 128, "rx_pkts": 384, "tx_pkts": 384}
+GOLDEN_CLIENT0_STATS = {"processed_pkts": 128, "rx_pkts": 128,
+                        "tx_pkts": 132}
+GOLDEN_SERVER_STATS = {"processed_pkts": 128, "rx_pkts": 128,
+                       "tx_pkts": 128}
+
+
+def _run_once(seed=7, n_values=4096):
+    deployment = build_rack(2, 1, seed=seed)
+    result = run_sync_aggregation(n_clients=2, n_values=n_values,
+                                  seed=seed, deployment=deployment)
+    return {
+        "goodput_gbps": result.goodput_gbps,
+        "final_time_s": deployment.sim.now,
+        "event_count": deployment.sim._sequence,
+        "switch": dict(sorted(deployment.switches[0].stats
+                              .as_dict().items())),
+        "client0": dict(sorted(deployment.clients[0].stats
+                               .as_dict().items())),
+        "server": dict(sorted(deployment.servers[0].stats
+                              .as_dict().items())),
+    }
+
+
+def test_same_seed_is_bit_identical():
+    first = _run_once()
+    second = _run_once()
+    # Full-precision float comparison on purpose: determinism means
+    # identical bits, not "close enough".
+    assert first == second
+
+
+def test_matches_pre_optimization_golden_snapshot():
+    run = _run_once()
+    assert run["goodput_gbps"] == GOLDEN_GOODPUT_GBPS
+    assert run["final_time_s"] == GOLDEN_FINAL_TIME_S
+    assert run["event_count"] == GOLDEN_EVENT_COUNT
+    assert run["switch"] == GOLDEN_SWITCH_STATS
+    assert run["client0"] == GOLDEN_CLIENT0_STATS
+    assert run["server"] == GOLDEN_SERVER_STATS
+
+
+def test_different_workload_diverges():
+    # Guard against the golden test passing vacuously (e.g. the stats
+    # plumbing returning constants regardless of the simulation).  The
+    # lossless aggregation path draws nothing from the RNG, so the
+    # workload size — not the seed — is what must move the needle.
+    assert _run_once(n_values=2048) != _run_once(n_values=4096)

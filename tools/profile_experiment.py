@@ -1,0 +1,79 @@
+"""Profile one experiment module under cProfile.
+
+Usage (from the repo root):
+
+    PYTHONPATH=src python tools/profile_experiment.py exp_micro
+    PYTHONPATH=src python tools/profile_experiment.py exp_loss \
+        --sort cumtime --top 40 --kwargs '{"fast": false}'
+    PYTHONPATH=src python tools/profile_experiment.py exp_micro \
+        --dump /tmp/exp_micro.prof   # then: python -m pstats ...
+
+The positional argument is an ``repro.experiments`` module name (with
+or without the package prefix); its ``run()`` is invoked with
+``fast=True`` unless overridden via ``--kwargs``.  This is the loop the
+hot-path work was steered by: optimize, re-profile, confirm the top of
+the table moved.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import importlib
+import json
+import pstats
+import sys
+from time import perf_counter
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("experiment",
+                        help="experiment module, e.g. exp_micro or "
+                             "repro.experiments.exp_micro")
+    parser.add_argument("--sort", default="tottime",
+                        choices=["tottime", "cumtime", "ncalls"],
+                        help="pstats sort column (default: %(default)s)")
+    parser.add_argument("--top", type=int, default=25,
+                        help="rows to print (default: %(default)s)")
+    parser.add_argument("--kwargs", default='{"fast": true}',
+                        help="JSON kwargs for run() "
+                             "(default: %(default)s)")
+    parser.add_argument("--dump", default=None, metavar="PATH",
+                        help="also save raw stats for pstats/snakeviz")
+    args = parser.parse_args(argv)
+
+    name = args.experiment
+    if "." not in name:
+        name = f"repro.experiments.{name}"
+    try:
+        module = importlib.import_module(name)
+    except ImportError as exc:
+        parser.error(f"cannot import {name}: {exc}")
+    run = getattr(module, "run", None)
+    if run is None:
+        parser.error(f"{name} has no run() entry point")
+    try:
+        kwargs = json.loads(args.kwargs)
+    except ValueError as exc:
+        parser.error(f"--kwargs must be a JSON object: {exc}")
+
+    profiler = cProfile.Profile()
+    start = perf_counter()
+    profiler.enable()
+    run(**kwargs)
+    profiler.disable()
+    wall = perf_counter() - start
+
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    print(f"{name}.run(**{kwargs}): {wall:.2f} s wall "
+          f"(includes profiler overhead)")
+    if args.dump:
+        stats.dump_stats(args.dump)
+        print(f"raw stats written to {args.dump}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
