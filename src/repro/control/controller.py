@@ -136,6 +136,10 @@ class Controller:
         self._registrations: Dict[str, Registration] = {}
         self._client_agents: Dict[str, ClientAgent] = {}
         self._server_agents: Dict[str, ServerAgent] = {}
+        # GAID -> installed multicast members, kept so the failover path
+        # can re-install admission entries verbatim after a switch loses
+        # its dataplane state (mcast_groups may differ from clients).
+        self._installed_members: Dict[int, Tuple[str, ...]] = {}
 
     # ------------------------------------------------------------------
     # agent registry (hosts announce their agents at startup)
@@ -253,6 +257,7 @@ class Controller:
             if not config.has_switch:
                 continue
             members = tuple(group) if group is not None else clients
+            self._installed_members[config.gaid] = members
             for switch in self.switches:
                 switch.install_app(AppEntry(
                     gaid=config.gaid, program=config.program, server=server,
@@ -291,6 +296,7 @@ class Controller:
         for config in registration.configs:
             if not config.has_switch:
                 continue
+            self._installed_members.pop(config.gaid, None)
             for switch in self.switches:
                 switch.remove_app(config.gaid)
             key = (config.value_region.base, config.value_region.size)
@@ -298,6 +304,38 @@ class Controller:
                 released.add(key)
                 self.pool.release(config.value_region)
                 self.pool.release(config.counter_region, counters=True)
+
+    # ------------------------------------------------------------------
+    def handle_switch_reboot(self, switch: NetRPCSwitch) -> None:
+        """Failover: restore one rebooted switch's dataplane state.
+
+        Invoked (after a detection/control delay) when a switch lost its
+        volatile state: admission entries are re-installed verbatim, and
+        every live sender's flip-bit slot is rebuilt from the transport's
+        own window state so in-flight retransmissions classify as fresh —
+        matching the registers they feed, which the same reboot wiped
+        (§5.2.2 failover).  ``last_seen`` is stamped *now* so the re-
+        installed entries do not instantly trip the first-level timeout.
+        """
+        now = self.sim.now
+        edge = self.switches[-1]
+        for registration in self._registrations.values():
+            for config in registration.configs:
+                if not config.has_switch or config.gaid in switch.admission:
+                    continue
+                members = self._installed_members.get(
+                    config.gaid, registration.clients)
+                switch.install_app(AppEntry(
+                    gaid=config.gaid, program=config.program,
+                    server=registration.server, clients=members,
+                    edge=switch is edge, last_seen=now))
+        agents = list(self._client_agents.values()) + \
+            list(self._server_agents.values())
+        for agent in agents:
+            for flow in agent.all_flows():
+                if flow.srrt >= 0:
+                    switch.flow_state.restore(flow.srrt,
+                                              flow.flip_resync_bits())
 
     # ------------------------------------------------------------------
     def poll_switch_timestamps(self) -> Dict[int, float]:

@@ -10,11 +10,19 @@ equality with the paper's testbed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.control import Deployment, build_rack
 from repro.inc import Task
-from repro.netsim import Calibration, RandomLoss, RateMeter, scaled
+from repro.netsim import (
+    Calibration,
+    ChaosSchedule,
+    InvariantChecker,
+    RandomLoss,
+    RateMeter,
+    SimulationError,
+    scaled,
+)
 from repro.protocol import (
     INT32_MAX,
     ClearPolicy,
@@ -29,6 +37,7 @@ __all__ = [
     "SyncResult", "run_sync_aggregation", "sync_chunk_latency",
     "AsyncResult", "run_async_aggregation",
     "voting_delay", "format_table",
+    "ChaosRunResult", "run_chaos_sync_round", "chaos_task_values",
 ]
 
 CAL = scaled()
@@ -276,6 +285,150 @@ def voting_delay(n_voters: int = 3, rounds: int = 30,
         sim.run(until=sim.now + 1e-4)
     steady = samples[1:] or samples
     return sum(steady) / len(steady)
+
+
+# ---------------------------------------------------------------------------
+# chaos-enabled harness (fault injection + invariant checking)
+# ---------------------------------------------------------------------------
+@dataclass
+class ChaosRunResult:
+    """Outcome of one faulted SyncAgtr round, judged against its own
+    no-fault baseline: ``ok`` means every client got the bit-identical
+    aggregate; otherwise ``failure`` carries the *explicit* error (a
+    simulation timeout / give-up) — ``violations`` non-empty is the one
+    forbidden outcome, a silent wrong answer or broken invariant."""
+
+    ok: bool
+    failure: Optional[str]
+    expected: Dict[int, int]
+    values: Optional[Dict[int, int]]       # client 0's view (if resolved)
+    baseline_elapsed_s: float
+    final_time_s: float
+    fingerprint: Optional[str]
+    violations: List[str]
+    residue: int
+    switch_stats: Dict[str, float]
+    server_stats: Dict[str, float]
+
+
+def chaos_task_values(n_clients: int, n_values: int) -> List[List[tuple]]:
+    """Deterministic, non-uniform per-client (index, value) items.
+
+    Distinct values per client so a partial aggregate (one client's
+    contribution missing or doubled) can never collide with the true
+    sum — the property the silent-wrong-answer check rides on.
+    """
+    return [[(j, ((i + 1) * (j % 13 + 1)) % 97 + 1) for j in range(n_values)]
+            for i in range(n_clients)]
+
+
+def run_chaos_sync_round(n_clients: int = 2, n_values: int = 256,
+                         seed: int = 0, chaos_seed: Optional[int] = None,
+                         schedule: Optional[ChaosSchedule] = None,
+                         schedule_factory: Optional[
+                             Callable[[float, Deployment],
+                                      ChaosSchedule]] = None,
+                         n_link_faults: int = 3, n_switch_reboots: int = 1,
+                         n_host_pauses: int = 1,
+                         cal: Calibration = CAL, value_slots: int = 8192,
+                         counter_slots: int = 1024,
+                         limit: float = 2.0) -> ChaosRunResult:
+    """One SyncAgtr round under a fault schedule, with invariants checked.
+
+    Runs the identical workload twice: a no-fault baseline (which also
+    yields the fault window ``[0.15 T, 0.85 T]`` for random schedules),
+    then a chaos run with the schedule installed.  The schedule comes
+    from ``schedule`` verbatim, from ``schedule_factory(baseline_elapsed,
+    deployment)``, or from ``ChaosSchedule.random(chaos_seed, ...)``.
+    """
+    per_client = chaos_task_values(n_clients, n_values)
+    expected = {j: sum(items[j][1] for items in per_client)
+                for j in range(n_values)}
+
+    def _run(deployment, arm):
+        controller = deployment.controller
+        (config,) = controller.register(
+            [sync_program(n_clients)], server=deployment.server_name,
+            clients=deployment.client_names[:n_clients],
+            value_slots=value_slots, counter_slots=counter_slots,
+            linear=True)
+        checker = fingerprint = None
+        if arm is not None:
+            checker, fingerprint = arm(deployment, config)
+        sim = deployment.sim
+        start = sim.now
+        events = [deployment.client_agent(i).submit(
+            Task(app=config, round=0, items=per_client[i],
+                 expect_result=True))
+            for i in range(n_clients)]
+        failure = None
+        results = []
+        for event in events:
+            try:
+                results.append(sim.run_until(event, limit=start + limit))
+            except SimulationError as exc:
+                failure = f"explicit failure: {exc}"
+                break
+        return config, checker, fingerprint, results, failure, \
+            sim.now - start
+
+    # -- no-fault baseline ---------------------------------------------
+    baseline = build_rack(n_clients, 1, cal=cal, seed=seed)
+    _, _, _, base_results, base_failure, base_elapsed = _run(baseline, None)
+    if base_failure is not None:   # pragma: no cover - harness sanity
+        raise RuntimeError(f"no-fault baseline did not complete: "
+                           f"{base_failure}")
+    for result in base_results:
+        if result.values != expected:   # pragma: no cover - harness sanity
+            raise RuntimeError("no-fault baseline diverged from the "
+                               "in-memory sum")
+
+    # -- chaos run ------------------------------------------------------
+    def arm(deployment, config):
+        if schedule is not None:
+            plan = schedule
+        elif schedule_factory is not None:
+            plan = schedule_factory(base_elapsed, deployment)
+        else:
+            plan = ChaosSchedule.random(
+                0 if chaos_seed is None else chaos_seed, deployment,
+                t0=0.15 * base_elapsed, t1=0.85 * base_elapsed,
+                n_link_faults=n_link_faults,
+                n_switch_reboots=n_switch_reboots,
+                n_host_pauses=n_host_pauses)
+        plan.install(deployment)
+        checker = InvariantChecker(deployment)
+        # Bounded observation cadence: frequent enough to catch drift
+        # mid-round, coarse enough that a timed-out run stays cheap.
+        checker.start(max(cal.retransmit_timeout_s, limit / 2000.0))
+        return checker, plan.fingerprint()
+
+    deployment = build_rack(n_clients, 1, cal=cal, seed=seed)
+    config, checker, fingerprint, results, failure, _ = \
+        _run(deployment, arm)
+
+    # Drain in-flight retransmissions/clears before judging quiescent
+    # state (bounded: flows idle once every chunk and return is acked).
+    sim = deployment.sim
+    sim.run(until=sim.now + 100 * cal.retransmit_timeout_s)
+    checker.observe()
+
+    values = None
+    ok = failure is None and len(results) == n_clients
+    for index, result in enumerate(results):
+        if index == 0:
+            values = result.values
+        if not checker.check_result(f"client {index}", expected,
+                                    result.values):
+            ok = False
+    residue = checker.register_residue(config)
+    return ChaosRunResult(
+        ok=ok, failure=failure, expected=expected, values=values,
+        baseline_elapsed_s=base_elapsed, final_time_s=sim.now,
+        fingerprint=fingerprint, violations=list(checker.violations),
+        residue=residue,
+        switch_stats=deployment.switches[0].stats.as_dict(),
+        server_stats=dict(deployment.server_agent(0).stats))
 
 
 # ---------------------------------------------------------------------------

@@ -172,6 +172,13 @@ class ClientAgent:
     def app_state(self, app_key: str) -> _AppClientState:
         return self._apps[app_key]
 
+    def all_flows(self) -> List[ReliableFlow]:
+        """Every reliable flow this agent sends on (failover resync)."""
+        flows = []
+        for state in self._apps.values():
+            flows.extend(state.flows)
+        return flows
+
     def set_broadcast_handler(self, app_key: str, handler) -> None:
         """Install ``handler(pkt)`` for every multicast this host receives."""
         self._apps[app_key].broadcast_handler = handler

@@ -137,7 +137,8 @@ class ServerAgent:
         self._gaid_to_app: Dict[int, str] = {}
         host.set_handler(self._on_packet)
         self.stats = {"data_rx": 0, "software_pairs": 0, "replays": 0,
-                      "evictions": 0, "corrected_chunks": 0}
+                      "evictions": 0, "corrected_chunks": 0,
+                      "unprocessed_rx": 0}
 
     # ------------------------------------------------------------------
     # registration (driven by the controller)
@@ -185,6 +186,13 @@ class ServerAgent:
     def app_state(self, app_key: str) -> _AppServerState:
         return self._apps[app_key]
 
+    def all_flows(self) -> List[Any]:
+        """Every reliable flow this agent sends on (failover resync)."""
+        flows = []
+        for state in self._apps.values():
+            flows.extend(state.flow_by_id.values())
+        return flows
+
     def set_round_handler(self, app_key: str,
                           fn: Callable[[int, Dict[Any, int]], None]) -> None:
         self._apps[app_key].on_round = fn
@@ -216,6 +224,18 @@ class ServerAgent:
             if state.mm is not None:
                 for logical, count in pkt.payload[1].items():
                     state.mm.note_use(logical, count)
+            return
+
+        if config.has_switch and not pkt.is_cross and not pkt.is_of \
+                and not getattr(pkt, "switch_processed", False) \
+                and (pkt.is_cnf or any(kv.mapped for kv in pkt.kv)):
+            # Raw INC data that slipped past a cold switch: during the
+            # reboot-to-reinstall failover window the admission lookup
+            # misses and packets are forwarded here unprocessed.  Acting
+            # on one would emit a partial value as a round aggregate (a
+            # silent wrong answer) — drop it without an ACK instead, so
+            # the sender retransmits after the controller re-installs.
+            self.stats["unprocessed_rx"] += 1
             return
 
         self.stats["data_rx"] += 1

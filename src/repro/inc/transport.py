@@ -29,13 +29,31 @@ _INF = float("inf")
 
 
 class _PendingEntry:
-    __slots__ = ("packet", "attempts", "deadline", "sent_at")
+    __slots__ = ("packet", "attempts", "deadline", "sent_at",
+                 "_kv_values", "_is_of", "_ecn")
 
     def __init__(self, packet: Packet, deadline: float, sent_at: float):
         self.packet = packet
         self.attempts = 1
         self.deadline = deadline
         self.sent_at = sent_at
+        # First transmissions put this very object on the wire, and the
+        # switch pipeline rewrites it in place (Map.get / Stream.modify
+        # overwrite kv.value; overflow and ECN set flags).  Snapshot the
+        # payload so a retransmission resends what the application wrote,
+        # not whatever register state the first trip read back — a
+        # reboot-resynced switch classifies that retransmission as fresh
+        # and would otherwise re-add a partial aggregate.
+        self._kv_values = [kv.value for kv in packet.kv]
+        self._is_of = packet.is_of
+        self._ecn = packet.ecn
+
+    def restore_payload(self) -> None:
+        pkt = self.packet
+        for kv, value in zip(pkt.kv, self._kv_values):
+            kv.value = value
+        pkt.is_of = self._is_of
+        pkt.ecn = self._ecn
 
 
 class ReliableFlow:
@@ -110,7 +128,11 @@ class ReliableFlow:
     def _transmit(self, packet: Packet, first: bool) -> None:
         now = self.sim.now
         packet.sent_at = now
-        wire = packet if first else packet.copy()
+        if first:
+            wire = packet
+        else:
+            self._pending[packet.seq].restore_payload()
+            wire = packet.copy()
         wire.is_retransmit = not first
         rto = max(self.cal.retransmit_timeout_s, 2.0 * self.cc.rtt_estimate)
         if not first:
@@ -171,6 +193,7 @@ class ReliableFlow:
             if self.retry_filter is not None and \
                     not self.retry_filter(entry.packet):
                 return
+            entry.restore_payload()
             retry = entry.packet.copy()
             retry.is_retransmit = False
             self.stats["fresh_retries"] += 1
@@ -240,6 +263,36 @@ class ReliableFlow:
         while self._send_base in self._acked:
             self._acked.discard(self._send_base)
             self._send_base += 1
+
+    # ------------------------------------------------------------------
+    def flip_resync_bits(self) -> int:
+        """The switch-side SRRT bit array matching this flow's state.
+
+        Failover path: after a switch reboot wiped the flip-bit table,
+        the controller rebuilds each slot from the live sender so that
+        the *next* packet to arrive at every window index classifies as
+        a first appearance.  That is correct because the registers those
+        packets fed were wiped by the same reboot — losses are coupled —
+        and it is what lets in-flight retransmissions re-contribute
+        instead of being skipped as already-seen (§5.1 + §5.2.2).
+
+        For index ``i`` the next arrival is the smallest unsettled
+        ``seq >= send_base`` with ``seq % w_max == i``; a seq ACKed out
+        of order above the base is settled (never resent), so its index
+        is armed for the following window instead.  Later windows then
+        classify correctly by the same induction as a cold-start flow.
+        """
+        w = self.cal.w_max
+        base = self._send_base
+        bits = 0
+        for index in range(w):
+            nxt = base + ((index - base) % w)
+            if nxt in self._acked:
+                nxt += w
+            if not (nxt // w) & 1:
+                # Stored bit must differ from the arriving flip bit.
+                bits |= 1 << index
+        return bits
 
     # ------------------------------------------------------------------
     def pending_packet(self, seq: int) -> Optional[Packet]:

@@ -7,6 +7,19 @@ DESIGN.md §1 for the substitution rationale.
 
 from .calibration import Calibration, DEFAULT_CALIBRATION, scaled
 from .events import AllOf, AnyOf, Event, EventFailed, Interrupt, Timeout
+from .faults import (
+    ChaosSchedule,
+    CompositeFault,
+    Corrupt,
+    Duplicate,
+    FaultModel,
+    HostPause,
+    InvariantChecker,
+    LinkFault,
+    LinkFlap,
+    Reorder,
+    SwitchReboot,
+)
 from .link import (
     ETHERNET_OVERHEAD_BYTES,
     BurstLoss,
@@ -29,6 +42,9 @@ __all__ = [
     "Store", "StoreFull",
     "Link", "duplex_link", "LossModel", "NoLoss", "RandomLoss", "BurstLoss",
     "ScriptedLoss", "ETHERNET_OVERHEAD_BYTES",
+    "FaultModel", "Reorder", "Duplicate", "Corrupt", "LinkFlap",
+    "CompositeFault", "LinkFault", "SwitchReboot", "HostPause",
+    "ChaosSchedule", "InvariantChecker",
     "Node", "Host",
     "Topology", "star", "dumbbell", "chain",
     "Counter", "TimeSeries", "RateMeter", "LatencyRecorder",

@@ -257,7 +257,14 @@ class Link:
     def _tx_done(self, packet: Any) -> None:
         self.stats.add("sent_pkts")
         self.stats.add("sent_bytes", packet.size_bytes)
-        if self._loss.drops(packet, self.sim.rng):
+        plan = getattr(self._loss, "plan", None)
+        if plan is not None:
+            # Fault-model path: the model plans each packet's deliveries
+            # as (extra_delay, packet) tuples — empty = dropped, two
+            # entries = duplicated, positive extra delay = reordered.
+            for extra, out in plan(packet, self):
+                self.sim.schedule(self.delay_s + extra, self._deliver, out)
+        elif self._loss.drops(packet, self.sim.rng):
             self.stats.add("wire_drops")
         else:
             self.sim.schedule(self.delay_s, self._deliver, packet)

@@ -86,12 +86,42 @@ class Host(Node):
         self._core_free: List[float] = [0.0] * cores
         heapify(self._core_free)
         self._handler: Optional[Callable[[Any, Link], None]] = None
+        # Fault injection: while paused the host buffers arrivals and
+        # flushes them, in order, on resume (a GC / scheduler stall).
+        self._paused_until: Optional[float] = None
+        self._pause_buffer: List[Any] = []
+
+    def pause(self, duration_s: float) -> None:
+        """Stall packet reception for ``duration_s`` from now.
+
+        Overlapping pauses extend each other (the stall ends at the
+        latest requested instant).  Transmission is unaffected — only
+        the receive path freezes, like a process descheduled mid-poll.
+        """
+        if duration_s <= 0:
+            return
+        until = self.sim.now + duration_s
+        if self._paused_until is None or until > self._paused_until:
+            self._paused_until = until
+            self.stats.add("pauses")
+            self.sim.schedule_at(until, self._resume, until)
+
+    def _resume(self, when: float) -> None:
+        if self._paused_until != when:   # superseded by a longer pause
+            return
+        self._paused_until = None
+        buffered, self._pause_buffer = self._pause_buffer, []
+        for packet, link in buffered:
+            self.receive(packet, link)
 
     def set_handler(self, handler: Callable[[Any, Link], None]) -> None:
         """Install the upcall invoked for every processed packet."""
         self._handler = handler
 
     def receive(self, packet: Any, link: Link) -> None:
+        if self._paused_until is not None:
+            self._pause_buffer.append((packet, link))
+            return
         stats = self.stats
         if stats.enabled:
             counts = stats._counts

@@ -189,6 +189,10 @@ class Packet:
         state["uid"] = next(_packet_ids)
         state.pop("_size", None)
         state.pop("_recirculated", None)
+        # First transmissions put the pending-table entry itself on the
+        # wire, so the switch's processed mark lands on the sender's own
+        # object; a retransmit copy must not inherit that first trip.
+        state.pop("switch_processed", None)
         dup.__dict__.update(state)
         return dup
 

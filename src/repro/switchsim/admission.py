@@ -62,6 +62,14 @@ class AdmissionTable:
     def update_clients(self, gaid: int, clients: Tuple[str, ...]) -> None:
         self._entries[gaid].clients = clients
 
+    def clear(self) -> None:
+        """Reboot: match-action entries are part of the volatile config.
+
+        The controller re-installs them on the failover path; until then
+        every INC packet takes the unadmitted forwarding path.
+        """
+        self._entries.clear()
+
     def timestamps(self) -> Dict[int, float]:
         """Last-seen time per GAID, polled by the controller."""
         return {gaid: e.last_seen for gaid, e in self._entries.items()}

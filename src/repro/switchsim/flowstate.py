@@ -73,6 +73,33 @@ class FlowStateTable:
         self._bits[slot] = bits
         return False
 
+    @property
+    def next_slot(self) -> int:
+        """Allocator position (diagnostic; slot handout is bump-only)."""
+        return self._next_slot
+
+    def clear_state(self) -> None:
+        """Reboot: every allocated slot reverts to all-ones.
+
+        The allocator position survives — slot numbers are handed out by
+        the controller and must stay consistent across every switch on
+        the path, so a reboot may lose the *bits* but not the slot map.
+        """
+        ones = self._all_ones
+        for slot in self._bits:
+            self._bits[slot] = ones
+
+    def restore(self, slot: int, bits: int) -> None:
+        """Controller resync: overwrite one slot's bit array wholesale.
+
+        Used on the failover path to rebuild retransmission state from
+        the live senders after :meth:`clear_state` (see
+        ``ReliableFlow.flip_resync_bits``).
+        """
+        if not 0 <= slot < self.slots:
+            raise ValueError(f"slot {slot} out of range [0, {self.slots})")
+        self._bits[slot] = bits & self._all_ones
+
     def memory_bits(self) -> int:
         """Total switch memory consumed by reliable-flow state."""
         return len(self._bits) * self.w_max

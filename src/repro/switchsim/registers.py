@@ -164,3 +164,12 @@ class RegisterFile:
     def occupied(self) -> int:
         """Number of non-zero registers (diagnostic)."""
         return len(self._values)
+
+    def occupied_addrs(self) -> List[int]:
+        """Addresses of all non-zero registers (diagnostic snapshot)."""
+        return sorted(self._values)
+
+    def power_cycle(self) -> None:
+        """Reboot: register memory and sticky bits are volatile SRAM."""
+        self._values.clear()
+        self._sticky_overflow.clear()

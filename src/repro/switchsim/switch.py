@@ -148,6 +148,24 @@ class NetRPCSwitch(PlainSwitch):
         """Last-seen time per GAID (two-level timeout, §5.2.2)."""
         return self.admission.timestamps()
 
+    def reboot(self) -> None:
+        """Power-cycle the dataplane (fault injection).
+
+        Registers, flow state bitmaps, admission entries, and ECN marks
+        are volatile and vanish; the static routing config and the SRRT
+        slot allocator position (controller-owned) survive.  The
+        pipeline holds references to the register file and flow-state
+        table, so both are cleared in place rather than replaced.
+        Verdicts already in flight deliver normally — their register
+        reads happened before the power cut.
+        """
+        self.stats.add("reboots")
+        self.registers.power_cycle()
+        self.flow_state.clear_state()
+        self.admission.clear()
+        self._ecn_marked_at.clear()
+        self._recirc_busy_until = 0.0
+
     # ------------------------------------------------------------------
     # data plane
     # ------------------------------------------------------------------
@@ -178,6 +196,15 @@ class NetRPCSwitch(PlainSwitch):
             # the clients' ACKs instead.
             self._ecn_marked_at[packet.gaid] = sim.now
         verdict = self.pipeline.process(packet, entry, sim.now)
+        # Mark the packet as having traversed the *edge* INC pipeline —
+        # the one that makes forwarding/CntFwd verdicts.  During the
+        # reboot-to-reinstall failover window packets take the unadmitted
+        # path above and arrive at the server *without* this mark, which
+        # is how the server agent tells a switch-aggregated result apart
+        # from raw data that slipped past a cold switch (retransmit
+        # copies do not inherit it — Packet.copy drops it).
+        if entry.edge:
+            packet.switch_processed = True
         if verdict.retransmission:
             stats.add("retransmissions_detected")
         if counts is not None:

@@ -1,0 +1,106 @@
+"""Differential tests: every application must return results identical
+to its in-memory baseline while each link duplicates and reorders
+packets.  Flip-bit idempotence (paper §5.1) plus selective ACKs are
+what make this hold — these tests fail loudly if either regresses."""
+
+import pytest
+
+from repro.apps import FlowMonitor, PaxosCluster, TrainingJob, WordCountJob
+from repro.control import build_rack
+from repro.netsim import CompositeFault, Duplicate, Reorder, scaled
+from repro.workloads import (
+    MODELS,
+    SyntheticCorpus,
+    SyntheticTrace,
+    word_count,
+)
+
+pytestmark = pytest.mark.chaos
+
+CAL = scaled()
+
+
+def _inject(dep, dup_rate=0.05, reorder_rate=0.2, jitter_s=5e-7):
+    for link in dep.topology.links.values():
+        link.loss = CompositeFault([
+            Duplicate(rate=dup_rate),
+            Reorder(jitter_s=jitter_s, rate=reorder_rate),
+        ])
+
+
+def _faults_fired(dep):
+    total = 0
+    for link in dep.topology.links.values():
+        stats = link.stats.as_dict()
+        total += stats.get("dup_pkts", 0) + stats.get("reordered_pkts", 0)
+    return total
+
+
+class TestWordCountDifferential:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_counts_match_in_memory_baseline(self, seed):
+        dep = build_rack(2, 1, cal=CAL, seed=seed)
+        _inject(dep)
+        corpus = SyntheticCorpus(vocabulary_size=200, seed=3)
+        shards = {"c0": list(corpus.documents(4)),
+                  "c1": list(corpus.documents(4))}
+        result = WordCountJob(dep, batch_words=128).run(shards)
+        expected = word_count(doc for docs in shards.values()
+                              for doc in docs)
+        got = {word: result.counts.get(word, 0) for word in expected}
+        assert got == expected
+        assert _faults_fired(dep) > 0
+
+
+class TestMonitoringDifferential:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_flow_counts_match_exact_truth(self, seed):
+        dep = build_rack(2, 1, cal=CAL, seed=seed)
+        _inject(dep)
+        trace = SyntheticTrace(n_flows=100, seed=2)
+        records = list(trace.packets(600))
+        shards = {"c0": records[:300], "c1": records[300:]}
+        monitor = FlowMonitor(dep, batch_flows=16)
+        monitor.feed(shards)
+        dep.sim.run(until=dep.sim.now + 0.1)
+        truth = trace.exact_counts(records)
+        top = sorted(truth, key=truth.get, reverse=True)[:20]
+        counts = monitor.query(top)
+        assert {f: counts[f] for f in top} == {f: truth[f] for f in top}
+        assert _faults_fired(dep) > 0
+
+
+class TestTrainingDifferential:
+    def test_round_aggregates_bit_identical_to_clean_run(self):
+        captures = {}
+        for label in ("clean", "chaos"):
+            dep = build_rack(2, 1, cal=CAL, seed=4)
+            if label == "chaos":
+                _inject(dep)
+            job = TrainingJob(dep, MODELS["AlexNet"], scale=20_000)
+            seen = {}
+            job.server_stub.bind_round(
+                lambda r, values, seen=seen: seen.update({r: dict(values)}))
+            job.run(iterations=3)
+            assert all(c == 3 for c in job.iterations_done.values())
+            captures[label] = seen
+        assert set(captures["clean"]) == {0, 1, 2}
+        assert captures["chaos"] == captures["clean"]
+
+
+class TestPaxosDifferential:
+    def test_all_decisions_match_owner_proposals(self):
+        # Instances are sharded round-robin over proposers and each
+        # proposer proposes cmd-<self>-<instance>, so the decided map is
+        # exactly determined — duplication or reordering that slipped a
+        # double-counted vote through would corrupt it.
+        dep = build_rack(7, 1, cal=CAL, seed=5)
+        _inject(dep)
+        cluster = PaxosCluster(dep, proposers=["c0", "c1"],
+                               acceptors=["c2", "c3"],
+                               learners=["c4", "c5", "c6"])
+        report = cluster.run(30, window=4)
+        owners = ["c0", "c1"]
+        expected = {i: f"cmd-{owners[i % 2]}-{i}" for i in range(30)}
+        assert report.decided == expected
+        assert _faults_fired(dep) > 0

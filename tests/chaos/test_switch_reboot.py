@@ -1,0 +1,114 @@
+"""Mid-round switch reboot: the ISSUE acceptance scenario.
+
+A ``SwitchReboot`` injected mid-round on ``exp_micro``'s topology
+(``build_rack(2, 1)``) wipes the register file, the flow-state table and
+the admission entries.  The round must still complete via the
+controller's failover re-install with a correct result — or report an
+explicit failure — but never return a silent wrong aggregate.
+"""
+
+import pytest
+
+from repro.control import TimeoutMonitor, build_rack
+from repro.experiments.common import run_chaos_sync_round
+from repro.inc import Task
+from repro.netsim import ChaosSchedule, SwitchReboot, scaled
+from repro.protocol import CntFwdSpec, ForwardTarget, RIPProgram
+
+pytestmark = pytest.mark.chaos
+
+
+def _reboot_schedule(frac):
+    def factory(base_elapsed, deployment):
+        return ChaosSchedule([SwitchReboot(
+            switch=deployment.switches[0].name, at=frac * base_elapsed)])
+    return factory
+
+
+class TestMidRoundReboot:
+    @pytest.mark.parametrize("seed", range(24))
+    def test_round_survives_reboot_or_fails_loudly(self, seed):
+        result = run_chaos_sync_round(
+            n_clients=2, n_values=256, seed=seed,
+            schedule_factory=_reboot_schedule(0.45))
+        # Never a silent wrong answer, conservation intact, time monotone.
+        assert not result.violations, result.violations
+        assert result.ok or result.failure, \
+            "round neither completed nor failed explicitly"
+        assert result.switch_stats.get("reboots") == 1
+
+    @pytest.mark.parametrize("frac", [0.1, 0.3, 0.6, 0.9])
+    def test_reboot_phase_sweep(self, frac):
+        result = run_chaos_sync_round(
+            n_clients=2, n_values=256, seed=5,
+            schedule_factory=_reboot_schedule(frac))
+        assert not result.violations, result.violations
+        assert result.ok or result.failure
+
+    def test_server_gate_blocks_unprocessed_packets(self):
+        # During the failover window INC packets bypass the (cold) switch
+        # pipeline; the server agent must refuse to treat them as
+        # aggregated results rather than folding partial sums.
+        result = run_chaos_sync_round(
+            n_clients=2, n_values=256, seed=3,
+            schedule_factory=_reboot_schedule(0.45))
+        assert not result.violations
+        assert result.ok
+        assert result.server_stats.get("unprocessed_rx", 0) >= 1
+
+
+class TestTwoLevelTimeouts:
+    TCAL = scaled(first_level_timeout_s=0.05, second_level_timeout_s=0.3,
+                  controller_poll_interval_s=0.02)
+
+    def _app(self, dep, name="APP"):
+        prog = RIPProgram(app_name=name, add_to_field="r.kvs",
+                          cntfwd=CntFwdSpec(target=ForwardTarget.SRC))
+        (config,) = dep.controller.register([prog], server="s0",
+                                            clients=["c0"], value_slots=64)
+        return config
+
+    def test_reboot_without_failover_trips_both_levels(self):
+        """A reboot wipes the admission entries, so the app goes silent
+        from the controller's vantage point.  With the failover handler
+        deliberately withheld, the first-level timeout must fire, then
+        the second-level timeout (paper §5.2.2) must expire the app
+        instead of leaking its registration forever."""
+        dep = build_rack(1, 1, cal=self.TCAL, seed=11)
+        config = self._app(dep)
+        expired = {}
+        monitor = TimeoutMonitor(dep.sim, dep.controller, cal=self.TCAL,
+                                 on_expire=lambda app, data:
+                                 expired.update({app: data}))
+        agent = dep.client_agent(0)
+        for value in (9, 3):   # second task maps the key on the switch
+            done = agent.submit(Task(app=config, items=[("k", value)],
+                                     expect_result=False))
+            dep.sim.run_until(done, limit=5.0)
+
+        dep.switches[0].reboot()   # no handle_switch_reboot on purpose
+        dep.sim.run(until=dep.sim.now + 1.0)
+        assert monitor.first_level_fired("APP")
+        assert monitor.second_level_fired("APP")
+        assert "APP" in expired
+
+    def test_prompt_failover_keeps_active_app_alive(self):
+        """If the controller re-installs the entries right away, an app
+        that keeps talking never reaches even the first timeout level."""
+        dep = build_rack(1, 1, cal=self.TCAL, seed=11)
+        config = self._app(dep)
+        monitor = TimeoutMonitor(dep.sim, dep.controller, cal=self.TCAL)
+        agent = dep.client_agent(0)
+        rebooted = False
+        deadline = 0.3
+        while dep.sim.now < deadline:
+            done = agent.submit(Task(app=config, items=[("k", 1)],
+                                     expect_result=False))
+            dep.sim.run_until(done, limit=5.0)
+            dep.sim.run(until=dep.sim.now + 0.01)
+            if not rebooted and dep.sim.now > 0.1:
+                dep.switches[0].reboot()
+                dep.controller.handle_switch_reboot(dep.switches[0])
+                rebooted = True
+        assert rebooted
+        assert not monitor.first_level_fired("APP")

@@ -11,7 +11,8 @@ shifts ``sim.now`` or the event count and fails here.
 """
 
 from repro.control import build_rack
-from repro.experiments.common import run_sync_aggregation
+from repro.experiments.common import run_chaos_sync_round, run_sync_aggregation
+from repro.netsim import ChaosSchedule
 
 # Golden values captured on the pre-optimization simulator (and
 # verified unchanged after the overhaul): 2 clients x 4096 values,
@@ -73,3 +74,37 @@ def test_different_workload_diverges():
     # lossless aggregation path draws nothing from the RNG, so the
     # workload size — not the seed — is what must move the needle.
     assert _run_once(n_values=2048) != _run_once(n_values=4096)
+
+
+# --- chaos-schedule determinism ---------------------------------------
+# A ChaosSchedule is a pure function of (seed, topology): it must hash
+# to the same fingerprint on every machine and across PRs, so a failing
+# chaos seed reported in one session reproduces in the next.  Pinned on
+# the exp_micro topology (build_rack(2, 1)).
+GOLDEN_CHAOS_FINGERPRINT = \
+    "09a9eff07cb4d2c45c0bb1ffbca8d7755c7a4a42e9faa58c5589018b91869662"
+# And a full chaos round — random faults layered over the lossy link
+# path — must itself be bit-identical run-to-run, ending at the same
+# simulated instant.
+GOLDEN_CHAOS_FINAL_TIME_S = 0.00202551008
+
+
+def test_chaos_schedule_fingerprint_pinned():
+    dep = build_rack(2, 1, seed=7)
+    schedule = ChaosSchedule.random(11, dep, t0=1e-6, t1=5e-6,
+                                    n_link_faults=4, n_switch_reboots=1,
+                                    n_host_pauses=1)
+    assert schedule.fingerprint() == GOLDEN_CHAOS_FINGERPRINT
+
+
+def test_chaos_run_is_bit_identical():
+    first = run_chaos_sync_round(n_clients=2, n_values=256, seed=0,
+                                 chaos_seed=3)
+    second = run_chaos_sync_round(n_clients=2, n_values=256, seed=0,
+                                  chaos_seed=3)
+    assert (first.values, first.final_time_s, first.fingerprint,
+            first.failure, first.switch_stats) == \
+        (second.values, second.final_time_s, second.fingerprint,
+         second.failure, second.switch_stats)
+    assert first.ok
+    assert first.final_time_s == GOLDEN_CHAOS_FINAL_TIME_S

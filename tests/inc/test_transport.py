@@ -216,3 +216,81 @@ class TestReliableFlow:
         sim.run(until=2.0)
         assert len(gave_up) == 1
         assert flow.idle
+
+
+class TestFastRetransmit:
+    """The selective-ACK loss inference (_fast_retransmit_check):
+    an ACK REORDER_GAP past a window head older than one RTT heals the
+    head without waiting for the RTO."""
+
+    @staticmethod
+    def _deliver_past_gap(sim, flow, sink):
+        """Drive the flow until seq REORDER_GAP is on the wire, acking
+        everything in between except the head (seq 0)."""
+        gap = ReliableFlow.REORDER_GAP
+        for i in range(gap + 4):
+            flow.enqueue(make_packet(offset=i * 32))
+        acked = set()
+        for _ in range(100):
+            sim.run(until=sim.now + 2e-6)
+            if any(p.seq == gap for p in sink.received):
+                break
+            for pkt in list(sink.received):
+                if 0 < pkt.seq < gap and pkt.seq not in acked:
+                    acked.add(pkt.seq)
+                    flow.ack(pkt.seq)
+        assert any(p.seq == gap for p in sink.received)
+
+    def test_duplicate_ack_gap_triggers_fast_retransmit(self):
+        sim = Simulator()
+        flow, sink = make_flow(sim)
+        self._deliver_past_gap(sim, flow, sink)
+        assert flow.stats.get("fast_retransmits", 0) == 0
+        # Age the head well past the RTT estimate, then deliver the
+        # out-of-order ACK that reveals the hole at the window head.
+        sim.run(until=sim.now + 5e-6)
+        assert flow.ack(ReliableFlow.REORDER_GAP) is not None
+        assert flow.stats["fast_retransmits"] == 1
+        sim.run(until=sim.now + 1e-5)
+        head_copies = [p for p in sink.received if p.seq == 0]
+        assert len(head_copies) == 2
+        assert head_copies[1].is_retransmit
+        assert head_copies[1].flip == head_copies[0].flip
+
+    def test_duplicate_ack_does_not_fire_twice(self):
+        sim = Simulator()
+        flow, sink = make_flow(sim)
+        self._deliver_past_gap(sim, flow, sink)
+        sim.run(until=sim.now + 5e-6)
+        gap = ReliableFlow.REORDER_GAP
+        assert flow.ack(gap) is not None
+        assert flow.stats["fast_retransmits"] == 1
+        # The second ACK for the same seq is a pure duplicate: it must
+        # return None and must not re-trigger the fast retransmit (the
+        # pending entry is gone, so the check is never reached).
+        assert flow.ack(gap) is None
+        assert flow.stats["fast_retransmits"] == 1
+        sim.run(until=sim.now + 1e-5)
+        assert len([p for p in sink.received if p.seq == 0]) == 2
+
+    def test_gap_below_threshold_does_not_trigger(self):
+        sim = Simulator()
+        flow, sink = make_flow(sim)
+        for i in range(6):
+            flow.enqueue(make_packet(offset=i * 32))
+        sim.run(until=sim.now + 2e-5)
+        for seq in (1, 2, 3):
+            flow.ack(seq)
+        sim.run(until=sim.now + 2e-5)
+        flow.ack(5)   # gap 5 < REORDER_GAP
+        assert flow.stats.get("fast_retransmits", 0) == 0
+
+    def test_young_head_does_not_trigger(self):
+        sim = Simulator()
+        flow, sink = make_flow(sim)
+        self._deliver_past_gap(sim, flow, sink)
+        # Inflate the RTT estimate so the head looks younger than one
+        # RTT: reordering, not loss, stays the presumed explanation.
+        flow.cc.observe_rtt(1.0)
+        flow.ack(ReliableFlow.REORDER_GAP)
+        assert flow.stats.get("fast_retransmits", 0) == 0
