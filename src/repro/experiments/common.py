@@ -21,6 +21,7 @@ from repro.netsim import (
     RandomLoss,
     RateMeter,
     SimulationError,
+    SwitchReboot,
     scaled,
 )
 from repro.protocol import (
@@ -38,6 +39,7 @@ __all__ = [
     "AsyncResult", "run_async_aggregation",
     "voting_delay", "format_table",
     "ChaosRunResult", "run_chaos_sync_round", "chaos_task_values",
+    "reboot_schedule_factory", "run_chaos_reboot_round",
 ]
 
 CAL = scaled()
@@ -429,6 +431,28 @@ def run_chaos_sync_round(n_clients: int = 2, n_values: int = 256,
         residue=residue,
         switch_stats=deployment.switches[0].stats.as_dict(),
         server_stats=dict(deployment.server_agent(0).stats))
+
+
+def reboot_schedule_factory(frac: float) -> Callable[[float, Deployment],
+                                                     ChaosSchedule]:
+    """Schedule factory: reboot the first switch at ``frac`` of the
+    no-fault baseline's elapsed time (the acceptance scenario's knob)."""
+    def factory(base_elapsed: float,
+                deployment: Deployment) -> ChaosSchedule:
+        return ChaosSchedule([SwitchReboot(
+            switch=deployment.switches[0].name, at=frac * base_elapsed)])
+    return factory
+
+
+def run_chaos_reboot_round(seed: int = 0, frac: float = 0.45,
+                           n_clients: int = 2,
+                           n_values: int = 256) -> ChaosRunResult:
+    """Mid-round switch-reboot acceptance run as a pure function of
+    (seed, frac) — importable by sweep workers, unlike the closure the
+    schedule factory otherwise would be."""
+    return run_chaos_sync_round(
+        n_clients=n_clients, n_values=n_values, seed=seed,
+        schedule_factory=reboot_schedule_factory(frac))
 
 
 # ---------------------------------------------------------------------------

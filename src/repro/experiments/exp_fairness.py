@@ -9,11 +9,12 @@ control on and off.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.control import build_rack
 from repro.inc import Task
 from repro.netsim import RateMeter
+from repro.sweep import RunSpec, sweep_values
 
 from .common import CAL, async_programs, format_table, sync_program
 
@@ -86,18 +87,43 @@ def _shared_dataplane(cc_enabled: bool, seed: int, duration_s: float,
     return deployment, meters
 
 
-def run_fairness(duration_s: float = 2e-3, seed: int = 0,
-                 bucket_s: float = 1e-4) -> dict:
-    """Regenerate Figure 8: per-app goodput series and fairness."""
+def _fairness_point(duration_s: float, seed: int, bucket_s: float) -> dict:
+    """The full Figure 8 measurement as one sweep run (everything it
+    returns is plain data; the deployment never leaves the worker)."""
     deployment, meters = _shared_dataplane(True, seed, duration_s, bucket_s)
     # Steady-state window, per shared client uplink (both apps send from
     # the same two hosts; each host's 100G NIC is the contended link).
     start = duration_s / 2
     sync_gbps = meters["sync"].average_gbps(start, duration_s) / 2
     async_gbps = meters["async"].average_gbps(start, duration_s) / 2
-    combined = sync_gbps + async_gbps
-    fairness = jain_fairness([sync_gbps, async_gbps])
-    series = {name: meter.series() for name, meter in meters.items()}
+    return {"sync_gbps": sync_gbps, "async_gbps": async_gbps,
+            "combined_gbps": sync_gbps + async_gbps,
+            "fairness": jain_fairness([sync_gbps, async_gbps]),
+            "series": {name: meter.series()
+                       for name, meter in meters.items()}}
+
+
+def _cc_loss_point(cc_enabled: bool, duration_s: float, seed: int) -> float:
+    """Aggregate packet-loss ratio of one CC arm (one sweep run)."""
+    deployment, _ = _shared_dataplane(cc_enabled, seed, duration_s, 1e-4)
+    offered = drops = 0
+    for link in deployment.topology.links.values():
+        stats = link.stats
+        offered += stats["offered_pkts"]
+        drops += stats["queue_drops"] + stats["wire_drops"]
+    return drops / offered if offered else 0.0
+
+
+def run_fairness(duration_s: float = 2e-3, seed: int = 0,
+                 bucket_s: float = 1e-4) -> dict:
+    """Regenerate Figure 8: per-app goodput series and fairness."""
+    (point,) = sweep_values([RunSpec(
+        "repro.experiments.exp_fairness._fairness_point",
+        {"duration_s": duration_s, "bucket_s": bucket_s}, seed=seed,
+        label="fig8:fairness")])
+    sync_gbps, async_gbps = point["sync_gbps"], point["async_gbps"]
+    combined, fairness = point["combined_gbps"], point["fairness"]
+    series = point["series"]
     rows = [["SyncAggr", f"{sync_gbps:.2f}"],
             ["AsyncAggr", f"{async_gbps:.2f}"],
             ["combined", f"{combined:.2f}"],
@@ -113,17 +139,13 @@ def run_fairness(duration_s: float = 2e-3, seed: int = 0,
 
 def run_cc_loss(duration_s: float = 1.5e-3, seed: int = 0) -> dict:
     """Regenerate Figure 9: loss ratio with and without CC."""
-    out: Dict[str, float] = {}
-    series: Dict[str, List[Tuple[float, float]]] = {}
-    for label, cc_enabled in (("with-cc", True), ("without-cc", False)):
-        deployment, _ = _shared_dataplane(cc_enabled, seed, duration_s,
-                                          1e-4)
-        offered = drops = 0
-        for link in deployment.topology.links.values():
-            stats = link.stats
-            offered += stats["offered_pkts"]
-            drops += stats["queue_drops"] + stats["wire_drops"]
-        out[label] = drops / offered if offered else 0.0
+    arms = (("with-cc", True), ("without-cc", False))
+    specs = [RunSpec("repro.experiments.exp_fairness._cc_loss_point",
+                     {"cc_enabled": cc_enabled, "duration_s": duration_s},
+                     seed=seed, label=f"fig9:{label}")
+             for label, cc_enabled in arms]
+    out: Dict[str, float] = dict(zip((label for label, _ in arms),
+                                     sweep_values(specs)))
     rows = [[label, f"{ratio:.3%}"] for label, ratio in out.items()]
     reduction = (1 - out["with-cc"] / out["without-cc"]) \
         if out["without-cc"] else 0.0

@@ -13,12 +13,14 @@ from typing import Dict, List
 
 from repro.baselines import build_aggregation_job
 from repro.netsim import RandomLoss
+from repro.sweep import RunSpec, sweep_values
 
 from .common import CAL, format_table, run_sync_aggregation
 
-__all__ = ["run", "LOSS_RATES"]
+__all__ = ["run", "LOSS_RATES", "SYSTEMS"]
 
 LOSS_RATES = (0.0, 0.001, 0.005, 0.01)
+SYSTEMS = ("NetRPC", "ATP", "SwitchML")
 
 
 def _netrpc(loss: float, n_values: int, seed: int) -> float:
@@ -34,17 +36,26 @@ def _baseline(kind: str, loss: float, chunks: int, seed: int) -> float:
     return job.run(limit=240.0)
 
 
+def _loss_cell(system: str, loss: float, n_values: int, seed: int) -> float:
+    """One (system, loss-rate) grid cell — a pure function of its args,
+    executed in a sweep worker."""
+    if system == "NetRPC":
+        return _netrpc(loss, n_values, seed)
+    return _baseline(system.lower(), loss, n_values // 32, seed)
+
+
 def run(fast: bool = True, seed: int = 5) -> dict:
     """Regenerate Figure 10; returns absolute and normalized curves."""
     n_values = 64_000 if fast else 128_000
-    chunks = n_values // 32
-    absolute: Dict[str, List[float]] = {"NetRPC": [], "ATP": [],
-                                        "SwitchML": []}
-    for loss in LOSS_RATES:
-        absolute["NetRPC"].append(_netrpc(loss, n_values, seed))
-        absolute["ATP"].append(_baseline("atp", loss, chunks, seed))
-        absolute["SwitchML"].append(_baseline("switchml", loss, chunks,
-                                              seed))
+    specs = [RunSpec("repro.experiments.exp_loss._loss_cell",
+                     {"system": system, "loss": loss,
+                      "n_values": n_values, "seed": seed},
+                     label=f"fig10:{system}@{loss:.3%}")
+             for loss in LOSS_RATES for system in SYSTEMS]
+    cells = sweep_values(specs)
+    absolute: Dict[str, List[float]] = {system: [] for system in SYSTEMS}
+    for position, value in enumerate(cells):
+        absolute[SYSTEMS[position % len(SYSTEMS)]].append(value)
     normalized = {system: [v / curve[0] for v in curve]
                   for system, curve in absolute.items()}
     rows = []

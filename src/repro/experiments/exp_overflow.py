@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.baselines import build_aggregation_job
+from repro.sweep import RunSpec, sweep_values
 
 from .common import CAL, format_table, run_sync_aggregation
 
@@ -21,18 +22,32 @@ __all__ = ["run", "OVERFLOW_RATIOS"]
 OVERFLOW_RATIOS = (0.0, 0.00001, 0.0001, 0.001, 0.01)
 
 
+def _overflow_point(ratio: float, n_values: int, seed: int) -> dict:
+    """One overflow-ratio run: goodput plus chunks that clamped."""
+    result = run_sync_aggregation(n_values=n_values,
+                                  overflow_ratio=ratio, seed=seed)
+    return {"goodput_gbps": result.goodput_gbps,
+            "overflow_chunks": result.overflow_chunks}
+
+
+def _software_point(n_values: int) -> float:
+    """The flat pure-software baseline at the bottom of Figure 11."""
+    return build_aggregation_job("byteps", 2, n_values // 32,
+                                 cal=CAL).run()
+
+
 def run(fast: bool = True, seed: int = 3) -> dict:
     """Regenerate Figure 11."""
     n_values = 64_000 if fast else 128_000
-    curve: List[float] = []
-    overflow_seen: List[int] = []
-    for ratio in OVERFLOW_RATIOS:
-        result = run_sync_aggregation(n_values=n_values,
-                                      overflow_ratio=ratio, seed=seed)
-        curve.append(result.goodput_gbps)
-        overflow_seen.append(result.overflow_chunks)
-    software = build_aggregation_job("byteps", 2, n_values // 32,
-                                     cal=CAL).run()
+    specs = [RunSpec("repro.experiments.exp_overflow._overflow_point",
+                     {"ratio": ratio, "n_values": n_values, "seed": seed},
+                     label=f"fig11:{ratio:.3%}")
+             for ratio in OVERFLOW_RATIOS]
+    specs.append(RunSpec("repro.experiments.exp_overflow._software_point",
+                         {"n_values": n_values}, label="fig11:software"))
+    *points, software = sweep_values(specs)
+    curve: List[float] = [p["goodput_gbps"] for p in points]
+    overflow_seen: List[int] = [p["overflow_chunks"] for p in points]
     rows = [[f"{ratio:.3%}", f"{gbps:.2f}", chunks]
             for ratio, gbps, chunks in zip(OVERFLOW_RATIOS, curve,
                                            overflow_seen)]

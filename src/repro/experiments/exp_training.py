@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.baselines import build_aggregation_job
+from repro.sweep import RunSpec, sweep_values
 from repro.workloads import MODELS
 
 from .common import CAL, format_table, run_sync_aggregation
@@ -22,19 +23,26 @@ __all__ = ["run", "SYSTEMS"]
 SYSTEMS = ("NetRPC", "ATP", "SwitchML", "BytePS")
 
 
+def _system_goodput(system: str, n_workers: int, chunks: int) -> float:
+    """Steady-state aggregation goodput of one system (one sweep run)."""
+    if system == "NetRPC":
+        return run_sync_aggregation(n_clients=min(n_workers, 4),
+                                    n_values=chunks * 32).goodput_gbps
+    job = build_aggregation_job(system.lower(),
+                                n_workers=min(n_workers, 4),
+                                total_chunks=chunks, cal=CAL)
+    return job.run()
+
+
 def measure_goodputs(n_workers: int = 8, fast: bool = True
                      ) -> Dict[str, float]:
     """Per-sender aggregation goodput (Gbps) for each system."""
     chunks = 2000 if fast else 8000
-    values = chunks * 32
-    goodputs = {"NetRPC": run_sync_aggregation(
-        n_clients=min(n_workers, 4), n_values=values).goodput_gbps}
-    for kind, label in (("atp", "ATP"), ("switchml", "SwitchML"),
-                        ("byteps", "BytePS")):
-        job = build_aggregation_job(kind, n_workers=min(n_workers, 4),
-                                    total_chunks=chunks, cal=CAL)
-        goodputs[label] = job.run()
-    return goodputs
+    specs = [RunSpec("repro.experiments.exp_training._system_goodput",
+                     {"system": system, "n_workers": n_workers,
+                      "chunks": chunks}, label=f"fig6:{system}")
+             for system in SYSTEMS]
+    return dict(zip(SYSTEMS, sweep_values(specs)))
 
 
 def training_speed(model_name: str, goodput_gbps: float) -> float:

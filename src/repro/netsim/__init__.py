@@ -31,13 +31,13 @@ from .link import (
     duplex_link,
 )
 from .node import Host, Node
-from .simulator import Process, SimulationError, Simulator
+from .simulator import Process, SimulationError, Simulator, WallClockExceeded
 from .store import Store, StoreFull
 from .topology import Topology, chain, dumbbell, star
 from .trace import Counter, LatencyRecorder, RateMeter, TimeSeries, mean, percentile
 
 __all__ = [
-    "Simulator", "Process", "SimulationError",
+    "Simulator", "Process", "SimulationError", "WallClockExceeded",
     "Event", "Timeout", "AnyOf", "AllOf", "Interrupt", "EventFailed",
     "Store", "StoreFull",
     "Link", "duplex_link", "LossModel", "NoLoss", "RandomLoss", "BurstLoss",

@@ -24,18 +24,51 @@ from __future__ import annotations
 
 import heapq
 import random
+from time import perf_counter
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 from .events import AllOf, AnyOf, Event, EventFailed, Interrupt, Timeout
 
-__all__ = ["Simulator", "Process", "SimulationError"]
+__all__ = ["Simulator", "Process", "SimulationError", "WallClockExceeded",
+           "set_global_wall_deadline", "global_wall_deadline"]
 
 _heappush = heapq.heappush
 _heappop = heapq.heappop
 
+# Every _WALL_CHECK_EVERY dispatched events a deadline-guarded loop
+# consults perf_counter(); coarse enough to stay off the hot path,
+# fine enough that a runaway run is cancelled within milliseconds.
+_WALL_CHECK_EVERY = 2048
+
+# Process-wide wall deadline (absolute perf_counter() time).  Sweep
+# workers install it *before* the run constructs its Simulator; every
+# simulator built while it is set inherits it, so the guard reaches
+# simulators created arbitrarily deep inside experiment code.
+_GLOBAL_WALL_DEADLINE: Optional[float] = None
+
 
 class SimulationError(RuntimeError):
     """Raised for fatal simulator misuse (e.g. running a finished sim)."""
+
+
+class WallClockExceeded(SimulationError):
+    """A run overran its wall-clock deadline (sweep timeout guard)."""
+
+
+def set_global_wall_deadline(deadline: Optional[float]) -> None:
+    """Install (or clear, with ``None``) the process-wide wall deadline.
+
+    ``deadline`` is an absolute :func:`time.perf_counter` timestamp.
+    Only simulators constructed while the deadline is set are guarded —
+    the disabled path of :meth:`Simulator.run` stays byte-for-byte the
+    pre-guard dispatch loop.
+    """
+    global _GLOBAL_WALL_DEADLINE
+    _GLOBAL_WALL_DEADLINE = deadline
+
+
+def global_wall_deadline() -> Optional[float]:
+    return _GLOBAL_WALL_DEADLINE
 
 
 class Process(Event):
@@ -135,6 +168,26 @@ class Simulator:
         self._sequence = 0
         self.rng = random.Random(seed)
         self._finished = False
+        self._wall_deadline = _GLOBAL_WALL_DEADLINE
+
+    def set_wall_deadline(self, deadline: Optional[float]) -> None:
+        """Cancel this simulator's run loops past an absolute
+        :func:`time.perf_counter` timestamp (``None`` disables).
+
+        The guard makes a runaway run *cancellable*: :meth:`run` and
+        :meth:`run_until` raise :class:`WallClockExceeded` once the
+        deadline passes, checked every ``_WALL_CHECK_EVERY`` events so
+        the guarded loop stays within noise of the unguarded one.  It
+        never alters event order or timestamps, so a run that finishes
+        under its deadline is bit-identical to an unguarded run.
+        """
+        self._wall_deadline = deadline
+
+    def _check_wall_deadline(self) -> None:
+        if perf_counter() > self._wall_deadline:
+            raise WallClockExceeded(
+                f"wall-clock deadline exceeded at t={self.now} "
+                f"({self._sequence} events dispatched)")
 
     # ------------------------------------------------------------------
     # scheduling primitives
@@ -217,15 +270,30 @@ class Simulator:
             raise SimulationError(
                 f"cannot run until {until}; clock already at {self.now}")
         # The dispatch loop is inlined (no self.step() call) — it executes
-        # once per event and dominates every experiment's wall time.
+        # once per event and dominates every experiment's wall time.  The
+        # wall-deadline guard gets its own copy of the loop so the common
+        # (unguarded) path pays nothing for it.
         heap = self._heap
         pop = _heappop
-        while heap:
-            if until is not None and heap[0][0] > until:
-                break
-            when, _seq, callback, value = pop(heap)
-            self.now = when
-            callback(value)
+        if self._wall_deadline is None:
+            while heap:
+                if until is not None and heap[0][0] > until:
+                    break
+                when, _seq, callback, value = pop(heap)
+                self.now = when
+                callback(value)
+        else:
+            countdown = _WALL_CHECK_EVERY
+            while heap:
+                if until is not None and heap[0][0] > until:
+                    break
+                when, _seq, callback, value = pop(heap)
+                self.now = when
+                callback(value)
+                countdown -= 1
+                if countdown == 0:
+                    countdown = _WALL_CHECK_EVERY
+                    self._check_wall_deadline()
         if until is not None:
             self.now = max(self.now, until)
 
@@ -238,6 +306,8 @@ class Simulator:
         """
         heap = self._heap
         pop = _heappop
+        deadline = self._wall_deadline
+        countdown = _WALL_CHECK_EVERY
         while not event._triggered:
             if not heap:
                 raise SimulationError(
@@ -249,6 +319,11 @@ class Simulator:
             when, _seq, callback, value = pop(heap)
             self.now = when
             callback(value)
+            if deadline is not None:
+                countdown -= 1
+                if countdown == 0:
+                    countdown = _WALL_CHECK_EVERY
+                    self._check_wall_deadline()
         if not event.ok:
             raise EventFailed(event.value)
         return event.value

@@ -1,0 +1,57 @@
+"""Per-run profiling adapter for sweep execution.
+
+``tools/profile_experiment.py --sweep`` routes each grid point through
+:func:`profiled_call` inside its worker: the run executes under its own
+``cProfile``, the raw stats land in a per-run dump file (pstats
+snapshots are not picklable, files are), and only a light summary
+travels back through the pool.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from io import StringIO
+from pathlib import Path
+from time import perf_counter
+from typing import Any, Dict
+
+from .spec import resolve_callable
+
+__all__ = ["profiled_call", "top_table"]
+
+
+def profiled_call(fn: str, kwargs: Dict[str, Any], dump_path: str,
+                  ) -> Dict[str, Any]:
+    """Run ``fn(**kwargs)`` under cProfile; dump stats to ``dump_path``.
+
+    Returns a picklable summary (wall time, dump location, call count)
+    rather than the profile or the experiment result itself — sweep
+    profiling is about where the time went, not the figures.
+    """
+    target = resolve_callable(fn)
+    profiler = cProfile.Profile()
+    start = perf_counter()
+    profiler.enable()
+    value = target(**kwargs)
+    profiler.disable()
+    wall = perf_counter() - start
+    Path(dump_path).parent.mkdir(parents=True, exist_ok=True)
+    profiler.dump_stats(dump_path)
+    stats = pstats.Stats(profiler)
+    return {
+        "fn": fn,
+        "kwargs": kwargs,
+        "wall_s": wall,
+        "dump": str(dump_path),
+        "total_calls": int(stats.total_calls),
+        "result_type": type(value).__name__,
+    }
+
+
+def top_table(dump_path: str, sort: str = "tottime", top: int = 15) -> str:
+    """Render the top rows of a dumped profile as text."""
+    buffer = StringIO()
+    stats = pstats.Stats(str(dump_path), stream=buffer)
+    stats.sort_stats(sort).print_stats(top)
+    return buffer.getvalue()

@@ -5,53 +5,78 @@ A ``SwitchReboot`` injected mid-round on ``exp_micro``'s topology
 the admission entries.  The round must still complete via the
 controller's failover re-install with a correct result — or report an
 explicit failure — but never return a silent wrong aggregate.
+
+The 24-seed acceptance grid and the reboot-phase sweep fan out through
+the sweep engine (worker count from ``REPRO_SWEEP_WORKERS``): each seed
+is an independent pure run, and the engine's ordered merge keeps the
+per-seed verdicts attributable.  A crashed or hung seed surfaces as a
+structured ``RunFailure`` in the report instead of aborting the sweep.
 """
 
 import pytest
 
 from repro.control import TimeoutMonitor, build_rack
-from repro.experiments.common import run_chaos_sync_round
+from repro.experiments.common import run_chaos_reboot_round
 from repro.inc import Task
-from repro.netsim import ChaosSchedule, SwitchReboot, scaled
+from repro.netsim import scaled
 from repro.protocol import CntFwdSpec, ForwardTarget, RIPProgram
+from repro.sweep import RunFailure, RunSpec, SweepEngine
 
 pytestmark = pytest.mark.chaos
 
+REBOOT_ROUND_FN = "repro.experiments.common.run_chaos_reboot_round"
+# Generous wall budget per 256-value round (~10 ms nominal): only a
+# pathological hang trips it, and a trip is a RunFailure, not a crash.
+ROUND_TIMEOUT_S = 60.0
 
-def _reboot_schedule(frac):
-    def factory(base_elapsed, deployment):
-        return ChaosSchedule([SwitchReboot(
-            switch=deployment.switches[0].name, at=frac * base_elapsed)])
-    return factory
+
+def _judge(tag, outcome, problems, require_reboot=True):
+    """Append a description of anything wrong with one sweep outcome."""
+    if isinstance(outcome, RunFailure):
+        problems.append(f"{tag}: [{outcome.kind}] {outcome.message}")
+        return
+    result = outcome.value
+    if result.violations:
+        problems.append(f"{tag}: invariant violations {result.violations}")
+    elif not (result.ok or result.failure):
+        problems.append(f"{tag}: round neither completed nor failed "
+                        f"explicitly")
+    elif require_reboot and result.switch_stats.get("reboots") != 1:
+        problems.append(f"{tag}: expected exactly one reboot, stats="
+                        f"{result.switch_stats.get('reboots')}")
 
 
 class TestMidRoundReboot:
-    @pytest.mark.parametrize("seed", range(24))
-    def test_round_survives_reboot_or_fails_loudly(self, seed):
-        result = run_chaos_sync_round(
-            n_clients=2, n_values=256, seed=seed,
-            schedule_factory=_reboot_schedule(0.45))
-        # Never a silent wrong answer, conservation intact, time monotone.
-        assert not result.violations, result.violations
-        assert result.ok or result.failure, \
-            "round neither completed nor failed explicitly"
-        assert result.switch_stats.get("reboots") == 1
+    SEEDS = tuple(range(24))
 
-    @pytest.mark.parametrize("frac", [0.1, 0.3, 0.6, 0.9])
-    def test_reboot_phase_sweep(self, frac):
-        result = run_chaos_sync_round(
-            n_clients=2, n_values=256, seed=5,
-            schedule_factory=_reboot_schedule(frac))
-        assert not result.violations, result.violations
-        assert result.ok or result.failure
+    def test_round_survives_reboot_or_fails_loudly_all_seeds(self):
+        specs = [RunSpec(REBOOT_ROUND_FN, {"frac": 0.45}, seed=seed,
+                         label=f"reboot-seed-{seed}",
+                         timeout_s=ROUND_TIMEOUT_S)
+                 for seed in self.SEEDS]
+        outcomes = SweepEngine().run(specs)
+        problems = []
+        for seed, outcome in zip(self.SEEDS, outcomes):
+            _judge(f"seed {seed}", outcome, problems)
+        assert not problems, "\n".join(problems)
+
+    def test_reboot_phase_sweep(self):
+        fracs = (0.1, 0.3, 0.6, 0.9)
+        specs = [RunSpec(REBOOT_ROUND_FN, {"frac": frac}, seed=5,
+                         label=f"reboot-frac-{frac}",
+                         timeout_s=ROUND_TIMEOUT_S)
+                 for frac in fracs]
+        outcomes = SweepEngine().run(specs)
+        problems = []
+        for frac, outcome in zip(fracs, outcomes):
+            _judge(f"frac {frac}", outcome, problems, require_reboot=False)
+        assert not problems, "\n".join(problems)
 
     def test_server_gate_blocks_unprocessed_packets(self):
         # During the failover window INC packets bypass the (cold) switch
         # pipeline; the server agent must refuse to treat them as
         # aggregated results rather than folding partial sums.
-        result = run_chaos_sync_round(
-            n_clients=2, n_values=256, seed=3,
-            schedule_factory=_reboot_schedule(0.45))
+        result = run_chaos_reboot_round(seed=3, frac=0.45)
         assert not result.violations
         assert result.ok
         assert result.server_stats.get("unprocessed_rx", 0) >= 1

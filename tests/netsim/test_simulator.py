@@ -10,6 +10,11 @@ from repro.netsim import (
     Interrupt,
     SimulationError,
     Simulator,
+    WallClockExceeded,
+)
+from repro.netsim.simulator import (
+    global_wall_deadline,
+    set_global_wall_deadline,
 )
 
 
@@ -281,3 +286,73 @@ class TestConditions:
             sim.any_of([])
         with pytest.raises(ValueError):
             sim.all_of([])
+
+
+class TestWallClockDeadline:
+    """The sweep timeout guard: a runaway simulation must be cancellable
+    by wall-clock deadline, and the guard must not perturb a run that
+    finishes in time (it never touches event order or timestamps)."""
+
+    def _spin_forever(self, sim, step_s=1e-9):
+        def spin():
+            while True:
+                yield sim.timeout(step_s)
+        sim.process(spin(), name="spin")
+
+    def test_runaway_run_is_cancelled(self):
+        from time import perf_counter
+        sim = Simulator(seed=0)
+        self._spin_forever(sim)
+        sim.set_wall_deadline(perf_counter() + 0.05)
+        with pytest.raises(WallClockExceeded):
+            sim.run()
+
+    def test_runaway_run_until_is_cancelled(self):
+        from time import perf_counter
+        sim = Simulator(seed=0)
+        self._spin_forever(sim)
+        never = sim.event()
+        sim.set_wall_deadline(perf_counter() + 0.05)
+        with pytest.raises(WallClockExceeded):
+            sim.run_until(never)
+
+    def test_wall_clock_exceeded_is_a_simulation_error(self):
+        # run_chaos_sync_round and friends catch SimulationError to turn
+        # explicit failures into results; a timeout must flow the same way.
+        assert issubclass(WallClockExceeded, SimulationError)
+
+    def test_finished_run_unaffected_by_deadline(self):
+        from time import perf_counter
+        log = []
+
+        def build(deadline):
+            sim = Simulator(seed=1)
+
+            def worker(name, delay):
+                yield sim.timeout(delay)
+                log.append((sim.now, name))
+            sim.process(worker("a", 1.0))
+            sim.process(worker("b", 2.0))
+            if deadline is not None:
+                sim.set_wall_deadline(deadline)
+            sim.run()
+            return sim.now, sim._sequence
+
+        unguarded = build(None)
+        guarded = build(perf_counter() + 60.0)
+        assert unguarded == guarded
+
+    def test_global_deadline_inherited_by_new_simulators(self):
+        from time import perf_counter
+        deadline = perf_counter() + 0.05
+        set_global_wall_deadline(deadline)
+        try:
+            sim = Simulator(seed=0)
+            assert sim._wall_deadline == deadline
+            self._spin_forever(sim)
+            with pytest.raises(WallClockExceeded):
+                sim.run()
+        finally:
+            set_global_wall_deadline(None)
+        assert global_wall_deadline() is None
+        assert Simulator(seed=0)._wall_deadline is None

@@ -8,11 +8,22 @@ Usage (from the repo root):
     PYTHONPATH=src python tools/profile_experiment.py exp_micro \
         --dump /tmp/exp_micro.prof   # then: python -m pstats ...
 
+    # sweep mode: profile a grid of runs through the sweep engine,
+    # one cProfile dump per run
+    PYTHONPATH=src python tools/profile_experiment.py exp_loss \
+        --sweep '[{"seed": 0}, {"seed": 1}, {"seed": 2}, {"seed": 3}]' \
+        --workers 4 --profile-dir /tmp/exp_loss_profiles
+
 The positional argument is an ``repro.experiments`` module name (with
 or without the package prefix); its ``run()`` is invoked with
 ``fast=True`` unless overridden via ``--kwargs``.  This is the loop the
 hot-path work was steered by: optimize, re-profile, confirm the top of
 the table moved.
+
+``--sweep`` takes a JSON list of kwargs overlays; each grid point runs
+``run(**{**kwargs, **overlay})`` in a sweep worker under its own
+profiler, so a whole parameter grid profiles in one parallel pass and
+each run's profile stays attributable.
 """
 
 from __future__ import annotations
@@ -23,7 +34,64 @@ import importlib
 import json
 import pstats
 import sys
+from pathlib import Path
 from time import perf_counter
+
+
+def profile_single(name: str, run, kwargs: dict, args) -> None:
+    profiler = cProfile.Profile()
+    start = perf_counter()
+    profiler.enable()
+    run(**kwargs)
+    profiler.disable()
+    wall = perf_counter() - start
+
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    print(f"{name}.run(**{kwargs}): {wall:.2f} s wall "
+          f"(includes profiler overhead)")
+    if args.dump:
+        stats.dump_stats(args.dump)
+        print(f"raw stats written to {args.dump}")
+
+
+def profile_sweep(name: str, kwargs: dict, overlays: list, args) -> int:
+    from repro.sweep import RunFailure, RunSpec, SweepEngine
+
+    profile_dir = Path(args.profile_dir)
+    profile_dir.mkdir(parents=True, exist_ok=True)
+    short = name.rpartition(".")[2]
+    specs = []
+    for index, overlay in enumerate(overlays):
+        merged = {**kwargs, **overlay}
+        dump = profile_dir / f"{short}-run{index}.prof"
+        specs.append(RunSpec(
+            fn="repro.sweep.profiling.profiled_call",
+            kwargs={"fn": f"{name}.run", "kwargs": merged,
+                    "dump_path": str(dump)},
+            label=f"profile:{short}[{index}]"))
+
+    engine = SweepEngine(workers=args.workers)
+    start = perf_counter()
+    outcomes = engine.run(specs)
+    wall = perf_counter() - start
+
+    from repro.sweep.profiling import top_table
+    failed = 0
+    for index, outcome in enumerate(outcomes):
+        print(f"\n=== run {index}: {specs[index].label} ===")
+        if isinstance(outcome, RunFailure):
+            failed += 1
+            print(f"FAILED [{outcome.kind}]: {outcome.message}")
+            continue
+        summary = outcome.value
+        print(f"kwargs={summary['kwargs']}  wall={summary['wall_s']:.2f}s  "
+              f"calls={summary['total_calls']:,}")
+        print(top_table(summary["dump"], sort=args.sort, top=args.top))
+        print(f"raw stats: {summary['dump']}")
+    print(f"\nsweep of {len(specs)} profiled runs finished in {wall:.2f}s "
+          f"on {engine.workers} worker(s); profiles in {profile_dir}/")
+    return 1 if failed else 0
 
 
 def main(argv=None) -> int:
@@ -40,7 +108,18 @@ def main(argv=None) -> int:
                         help="JSON kwargs for run() "
                              "(default: %(default)s)")
     parser.add_argument("--dump", default=None, metavar="PATH",
-                        help="also save raw stats for pstats/snakeviz")
+                        help="also save raw stats for pstats/snakeviz "
+                             "(single-run mode)")
+    parser.add_argument("--sweep", default=None, metavar="JSON",
+                        help="JSON list of kwargs overlays; profile the "
+                             "whole grid through the sweep engine")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="sweep worker count (default: "
+                             "$REPRO_SWEEP_WORKERS or cpu count)")
+    parser.add_argument("--profile-dir", default="prof_sweep",
+                        metavar="DIR",
+                        help="per-run .prof dump directory in sweep mode "
+                             "(default: %(default)s)")
     args = parser.parse_args(argv)
 
     name = args.experiment
@@ -58,20 +137,17 @@ def main(argv=None) -> int:
     except ValueError as exc:
         parser.error(f"--kwargs must be a JSON object: {exc}")
 
-    profiler = cProfile.Profile()
-    start = perf_counter()
-    profiler.enable()
-    run(**kwargs)
-    profiler.disable()
-    wall = perf_counter() - start
+    if args.sweep is not None:
+        try:
+            overlays = json.loads(args.sweep)
+        except ValueError as exc:
+            parser.error(f"--sweep must be a JSON list: {exc}")
+        if not isinstance(overlays, list) or \
+                not all(isinstance(o, dict) for o in overlays):
+            parser.error("--sweep must be a JSON list of objects")
+        return profile_sweep(name, kwargs, overlays, args)
 
-    stats = pstats.Stats(profiler, stream=sys.stdout)
-    stats.sort_stats(args.sort).print_stats(args.top)
-    print(f"{name}.run(**{kwargs}): {wall:.2f} s wall "
-          f"(includes profiler overhead)")
-    if args.dump:
-        stats.dump_stats(args.dump)
-        print(f"raw stats written to {args.dump}")
+    profile_single(name, run, kwargs, args)
     return 0
 
 
