@@ -8,7 +8,11 @@ on:
 * lossless-link packet forwarding (the fused fast path in
   :class:`~repro.netsim.link.Link`);
 * an end-to-end 2-to-1 SyncAgtr aggregation round (client agent ->
-  switch pipeline -> server agent and back).
+  switch pipeline -> server agent and back);
+* full-payload ``Packet.copy`` (the columnar ``KVBlock`` buffer-copy
+  path that multicast and retransmission ride);
+* the fused register kernels (``RegisterFile.add_get_block`` over a
+  32-slot block — the per-value switch cost).
 
 Each test attaches its headline rate to ``extra_info`` so the conftest
 hook persists it to ``BENCH_simcore.json`` (merged with the standalone
@@ -25,10 +29,14 @@ from time import perf_counter
 
 from repro.experiments.common import run_sync_aggregation
 from repro.netsim import Host, Link, Node, Simulator
+from repro.protocol import KVBlock, Packet, full_bitmap
+from repro.switchsim import RegisterFile
 
 RAW_EVENTS = 200_000
 LINK_PACKETS = 50_000
 AGG_VALUES = 32_768
+PACKET_COPIES = 100_000
+KERNEL_PACKETS = 20_000
 
 
 def drive_raw_events(n_events: int = RAW_EVENTS,
@@ -108,6 +116,50 @@ def drive_aggregation(n_values: int = AGG_VALUES) -> dict:
     }
 
 
+def drive_packet_copy(n_copies: int = PACKET_COPIES) -> float:
+    """Duplicate a full 32-slot linear packet; copies/sec.
+
+    This is the multicast / retransmission unit cost: with the columnar
+    payload it is a ``__dict__`` copy plus a handful of buffer copies.
+    """
+    kv = KVBlock.from_columns(range(32), range(32), mapped_mask=-1,
+                              keys=list(range(32)))
+    pkt = Packet(gaid=1, src="c0", dst="s0", kv=kv, linear_base=0)
+    pkt.select_all_slots()
+    copy = pkt.copy
+    start = perf_counter()
+    for _ in range(n_copies):
+        copy()
+    elapsed = perf_counter() - start
+    return n_copies / elapsed
+
+
+def drive_kv_kernels(n_packets: int = KERNEL_PACKETS) -> float:
+    """One full register cycle per 32-slot packet; kv values/sec.
+
+    Mirrors the SyncAgtr hot cycle per packet: restore the payload
+    column (the transport's retransmission snapshot), run the fused
+    ``add_get_block`` kernel, then ``clear_block`` (the return path).
+    """
+    regs = RegisterFile(segments=32, registers_per_segment=2048)
+    n_blocks = 64
+    blocks = [KVBlock.from_columns(range(i * 32, i * 32 + 32), [1] * 32,
+                                   mapped_mask=-1)
+              for i in range(n_blocks)]
+    ones = blocks[0].values[:]
+    select = full_bitmap(32)
+    add_get = regs.add_get_block
+    clear = regs.clear_block
+    start = perf_counter()
+    for i in range(n_packets):
+        block = blocks[i % n_blocks]
+        block.values[:] = ones
+        add_get(block, select, 0)
+        clear(block.addrs, select, 0)
+    elapsed = perf_counter() - start
+    return n_packets * 32 / elapsed
+
+
 # ----------------------------------------------------------------------
 def test_raw_event_rate(benchmark):
     rate = benchmark.pedantic(drive_raw_events, rounds=3, iterations=1)
@@ -126,3 +178,15 @@ def test_sync_aggregation_rate(benchmark):
     benchmark.extra_info.update(result)
     assert result["agg_values_per_sec"] > 5_000
     assert result["agg_goodput_gbps"] > 0
+
+
+def test_packet_copy_rate(benchmark):
+    rate = benchmark.pedantic(drive_packet_copy, rounds=3, iterations=1)
+    benchmark.extra_info["packet_copy_per_sec"] = rate
+    assert rate > 10_000
+
+
+def test_kv_kernel_rate(benchmark):
+    rate = benchmark.pedantic(drive_kv_kernels, rounds=3, iterations=1)
+    benchmark.extra_info["kv_kernel_values_per_sec"] = rate
+    assert rate > 100_000

@@ -132,8 +132,7 @@ class PaxosCluster:
             proposal = self._decode_scalars(pkt, self._proposal_msg)
             if proposal is None:
                 return
-            for kv in pkt.kv:
-                instance = kv.key
+            for instance in pkt.kv.keys or ():
                 if instance is None or instance in self.decided:
                     continue
                 # Accept: first proposal wins.  Re-votes happen only on an
@@ -165,8 +164,7 @@ class PaxosCluster:
             vote = self._decode_scalars(pkt, self._vote_msg)
             if vote is None:
                 return
-            for kv in pkt.kv:
-                instance = kv.key
+            for instance in pkt.kv.keys or ():
                 if instance is None or instance in self.decided:
                     continue
                 self.decided[instance] = vote.value

@@ -21,6 +21,7 @@ measured behaviour:
 from __future__ import annotations
 
 import itertools
+from array import array
 from dataclasses import dataclass, field
 from typing import Dict, List, Set, Tuple
 
@@ -40,6 +41,7 @@ __all__ = ["AggChunkPacket", "BaselineAggSwitch", "AggregationJob",
 _uid = itertools.count()
 
 _CHUNK_VALUES = 32
+_DATA_TEMPLATE = array("q", [1]) * _CHUNK_VALUES
 _PKT_BYTES = 192          # linear packets, like NetRPC's SyncAgtr
 _RESULT_BYTES = 192
 _ACK_BYTES = 64
@@ -47,14 +49,19 @@ _ACK_BYTES = 64
 
 @dataclass
 class AggChunkPacket:
-    """A gradient chunk / result / ACK for the baseline protocols."""
+    """A gradient chunk / result / ACK for the baseline protocols.
+
+    ``values`` is a columnar ``array('q')`` (same layout as the NetRPC
+    ``KVBlock`` value column) so chunk payloads copy and accumulate as
+    buffers rather than per-element object lists.
+    """
 
     kind: str                  # data | result | ack
     src: str
     dst: str
     worker: str = ""
     chunk: int = -1
-    values: List[int] = field(default_factory=list)
+    values: array = field(default_factory=lambda: array("q"))
     size_bytes: int = _PKT_BYTES
     ecn: bool = False
     uid: int = field(default_factory=lambda: next(_uid))
@@ -74,8 +81,8 @@ class BaselineAggSwitch(PlainSwitch):
         self.n_slots = n_slots
         self.ps = ps
         self.workers: Tuple[str, ...] = ()
-        # slot -> (chunk, accumulated values, contributed workers)
-        self._slots: Dict[int, Tuple[int, List[int], Set[str]]] = {}
+        # slot -> (chunk, accumulated value column, contributed workers)
+        self._slots: Dict[int, Tuple[int, array, Set[str]]] = {}
         # slot -> chunk whose aggregation completed (kept until the slot
         # is claimed by a newer chunk) so a worker that lost the result
         # can be answered from the cache instead of deadlocking the pool.
@@ -135,7 +142,8 @@ class BaselineAggSwitch(PlainSwitch):
             self.send(out, self.next_hop_for(packet.src))
             return
         if slot is None or slot[0] != packet.chunk:
-            slot = (packet.chunk, [0] * len(packet.values), set())
+            slot = (packet.chunk, array("q", bytes(8 * len(packet.values))),
+                    set())
             self._slots[slot_index] = slot
             self._completed.pop(slot_index, None)
         chunk, values, contributed = slot
@@ -220,7 +228,7 @@ class _WorkerBase:
         self.outstanding[chunk] = attempts
         packet = AggChunkPacket(kind="data", src=self.host.name,
                                 dst=self._dst_for(chunk), worker=self.name,
-                                chunk=chunk, values=[1] * _CHUNK_VALUES)
+                                chunk=chunk, values=_DATA_TEMPLATE[:])
         self.host.send(packet, self.tor)
         self.stats["sent" if attempts == 1 else "retransmits"] += 1
         self.sim.schedule(self.RTO * min(4, attempts), self._timeout,

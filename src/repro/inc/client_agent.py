@@ -26,6 +26,7 @@ from repro.netsim.events import Event
 from repro.protocol import (
     ClearPolicy,
     ForwardTarget,
+    KVBlock,
     KVPair,
     KV_PAIRS_PER_PACKET,
     Packet,
@@ -252,12 +253,16 @@ class ClientAgent:
             tstate.chunks[offset] = chunk
             tstate.unresolved += 1
             tstate.mapped_pairs += len(chunk_items)
-            kv = [KVPair(base + index % half, value, True, index)
-                  for index, value in chunk_items]
+            # Columns built directly — no per-pair objects on this path.
+            indices = [item[0] for item in chunk_items]
+            kv = KVBlock.from_columns(
+                [base + index % half for index in indices],
+                [item[1] for item in chunk_items],
+                mapped_mask=-1, keys=indices)
             pkt = self._base_packet(config, task, offset, kv)
-            first_index = chunk_items[0][0]
+            first_index = indices[0]
             if not task.indexed:
-                pkt.linear_base = kv[0].addr
+                pkt.linear_base = kv.addrs[0]
             pkt.shadow_offset = shadow_offset
             if config.program.cntfwd.counts and config.has_switch:
                 pkt.is_cnf = True
@@ -543,22 +548,40 @@ class ClientAgent:
                         tstate: _TaskState, chunk: _ChunkState, pkt: Packet,
                         corrected: bool) -> Dict[Any, int]:
         lazy = config.program.clear is ClearPolicy.LAZY
+        block = pkt.kv
+        keys = block.keys
+        values = block.values
+        mapped_mask = block.mapped_mask
+        lazy_adjust = lazy and config.has_switch and mapped_mask
+        if not lazy_adjust and keys is not None and None not in keys:
+            # Fast path (the common linear/keyed result): every slot has
+            # an explicit key and no baseline adjustment applies, so the
+            # whole block folds in one C-level zip.  Duplicate keys keep
+            # last-slot-wins ordering, same as the loop below.
+            return dict(zip(keys, values))
         out: Dict[Any, int] = {}
-        for slot, kv in enumerate(pkt.kv):
-            key = kv.key
-            if key is None and kv.mapped:
-                key = state.phys_to_key.get(kv.addr)
-            if key is None and config.linear:
-                key = pkt.offset + slot
+        addrs = block.addrs
+        phys_to_key = state.phys_to_key
+        linear = config.linear
+        offset = pkt.offset
+        for slot in range(len(values)):
+            key = keys[slot] if keys is not None else None
+            mapped = mapped_mask >> slot & 1
             if key is None:
-                continue
-            value = kv.value
-            if lazy and kv.mapped and config.has_switch:
+                if mapped:
+                    key = phys_to_key.get(addrs[slot])
+                if key is None:
+                    if not linear:
+                        continue
+                    key = offset + slot
+            value = values[slot]
+            if lazy_adjust and mapped:
+                addr = addrs[slot]
                 if corrected:
-                    state.lazy_baseline[kv.addr] = 0
+                    state.lazy_baseline[addr] = 0
                 else:
-                    baseline = state.lazy_baseline.get(kv.addr, 0)
-                    state.lazy_baseline[kv.addr] = value
+                    baseline = state.lazy_baseline.get(addr, 0)
+                    state.lazy_baseline[addr] = value
                     value = value - baseline
             out[key] = value
         return out
@@ -598,8 +621,10 @@ class ClientAgent:
                          tstate: _TaskState, chunk: _ChunkState) -> None:
         """Replay a chunk's raw data through the server (§5.2.1)."""
         self.stats["overflow_resends"] += 1
-        kv = [KVPair(addr=0, value=value, mapped=False, key=key)
-              for key, value in chunk.items]
+        items = chunk.items
+        kv = KVBlock.from_columns(
+            [0] * len(items), [value for _, value in items],
+            mapped_mask=0, keys=[key for key, _ in items])
         pkt = Packet(
             gaid=config.gaid, src=self.host.name, dst=config.server,
             kv=kv, is_of=True, is_cross=True,

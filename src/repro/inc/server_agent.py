@@ -29,6 +29,7 @@ from repro.netsim import Calibration, DEFAULT_CALIBRATION, Host, Simulator
 from repro.protocol import (
     ClearPolicy,
     ForwardTarget,
+    KVBlock,
     KVPair,
     Packet,
     RIPProgram,
@@ -228,7 +229,7 @@ class ServerAgent:
 
         if config.has_switch and not pkt.is_cross and not pkt.is_of \
                 and not getattr(pkt, "switch_processed", False) \
-                and (pkt.is_cnf or any(kv.mapped for kv in pkt.kv)):
+                and (pkt.is_cnf or pkt.kv.any_mapped):
             # Raw INC data that slipped past a cold switch: during the
             # reboot-to-reinstall failover window the admission lookup
             # misses and packets are forwarded here unprocessed.  Acting
@@ -315,24 +316,25 @@ class ServerAgent:
             # immediately send the clearing return stream (Figure 5).
             self._on_sync_trigger(state, config, pkt)
             return
-        if prog.clear is ClearPolicy.COPY and \
-                any(kv.mapped for kv in pkt.kv):
+        if prog.clear is ClearPolicy.COPY and pkt.kv.any_mapped:
             # A copy-clearing method (e.g. lock Release) detoured here for
             # backup: the return stream clears the registers on its way
             # back to the caller.
             ret = Packet(gaid=pkt.gaid, src=self.host.name, dst=pkt.src,
                          is_sa=True, is_clr=True,
-                         kv=[kv.copy() for kv in pkt.kv],
+                         kv=pkt.kv.copy(),
                          acks=(pkt.seq,), ack_flow=pkt.flow_id,
                          task_id=pkt.task_id, offset=pkt.offset,
                          round=pkt.round)
             ret.select_all_slots()
             state.acked.setdefault((pkt.src, pkt.flow_id), set()).add(
                 pkt.seq)
-            for kv in pkt.kv:
-                if kv.key is not None:
-                    state.soft.clear(kv.key)
-                    state.soft.clear_counter(kv.key)
+            keys = pkt.kv.keys
+            if keys is not None:
+                for key in keys:
+                    if key is not None:
+                        state.soft.clear(key)
+                        state.soft.clear_counter(key)
             state.unicast[pkt.src].enqueue(ret)
             return
         self._send_ack(state, config, pkt)
@@ -349,7 +351,7 @@ class ServerAgent:
         ret = Packet(gaid=pkt.gaid, src=self.host.name, dst=config.clients[0],
                      is_sa=True, is_clr=True, is_cnf=True,
                      cnt_index=pkt.cnt_index, is_of=pkt.is_of,
-                     kv=[kv.copy() for kv in pkt.kv],
+                     kv=pkt.kv.copy(),
                      linear_base=pkt.linear_base,
                      task_id=pkt.task_id, offset=pkt.offset,
                      task_total=pkt.task_total, round=pkt.round)
@@ -357,9 +359,11 @@ class ServerAgent:
         state.mcast.send(ret)
         if pkt.is_of:
             return  # corrected result will follow from the raw replays
-        self._store_round_chunk(state, config, pkt,
-                                {pkt.offset + i: kv.value
-                                 for i, kv in enumerate(pkt.kv)})
+        block = pkt.kv
+        self._store_round_chunk(
+            state, config, pkt,
+            dict(zip(range(pkt.offset, pkt.offset + len(block)),
+                     block.values)))
 
     def _store_round_chunk(self, state: _AppServerState, config: AppConfig,
                            pkt: Packet, values: Dict[Any, int]) -> None:
@@ -409,8 +413,12 @@ class ServerAgent:
         outcome_get = state.map_outcome.get
         mm_lookup = state.mm.lookup if state.mm is not None else None
         replay_append = replay_pairs.append
-        for kv in pkt.kv:
-            key = kv.key
+        block = pkt.kv
+        keys_col = block.keys
+        values_col = block.values
+        for index in range(len(values_col)):
+            key = keys_col[index] if keys_col is not None else None
+            value = values_col[index]
             phys = None
             if switch_path:
                 outcome = outcome_get(key)
@@ -421,13 +429,13 @@ class ServerAgent:
                     if phys is None:
                         phys = mapping_for(state, config, key, grants)
             if phys is not None:
-                replay_append((phys, key, kv.value))
+                replay_append((phys, key, value))
                 continue
             if prog.modify_op is not StreamOp.NOP:
-                kv.value = state.soft.modify(prog.modify_op, [kv.value],
-                                             prog.modify_para)[0]
+                value = state.soft.modify(prog.modify_op, [value],
+                                          prog.modify_para)[0]
             if prog.uses_add_to:
-                state.soft.add_to(key, kv.value)
+                state.soft.add_to(key, value)
             if prog.uses_get:
                 values[key] = state.soft.get(key)
             if prog.cntfwd.counts:
@@ -615,7 +623,7 @@ class ServerAgent:
             # SyncAgtr: collect every client's raw chunk, then send the
             # corrected aggregate computed in 64-bit software.
             buf = state.overflow_buf.setdefault((pkt.round, pkt.offset), {})
-            buf[pkt.src] = [kv.value for kv in pkt.kv]
+            buf[pkt.src] = pkt.kv.values_list()
             if len(buf) < prog.cntfwd.threshold:
                 return
             contributions = state.overflow_buf.pop((pkt.round, pkt.offset))
@@ -626,12 +634,15 @@ class ServerAgent:
         # Map-addressed applications: exact software accumulation; the
         # register keeps its recoverable pre-overflow value until eviction.
         values: Dict[Any, int] = {}
-        for kv in pkt.kv:
+        block = pkt.kv
+        keys_col = block.keys
+        for index, value in enumerate(block.values):
+            key = keys_col[index] if keys_col is not None else None
             if prog.uses_add_to:
-                state.soft.add_to(kv.key, kv.value)
+                state.soft.add_to(key, value)
             if prog.uses_get:
-                values[kv.key] = state.soft.get(kv.key) + \
-                    self._register_part(state, config, kv.key)
+                values[key] = state.soft.get(key) + \
+                    self._register_part(state, config, key)
         if values:
             kv_out = [KVPair(addr=0, value=v, mapped=False, key=k)
                       for k, v in values.items()]
@@ -664,18 +675,17 @@ class ServerAgent:
             # Reset the sticky registers so later rounds reuse them.
             self._ctrl(state,
                        lambda sw, a=tuple(addrs): sw.ctrl_read_and_clear(a))
-        kv = [KVPair(addr=addr, value=value, mapped=True,
-                     key=pkt.offset + j)
-              for j, (addr, value) in enumerate(zip(addrs, corrected))]
+        key_range = range(pkt.offset, pkt.offset + len(corrected))
+        kv = KVBlock.from_columns(addrs, corrected, mapped_mask=-1,
+                                  keys=list(key_range))
         result = Packet(gaid=pkt.gaid, src=self.host.name,
                         dst=config.clients[0], is_sa=True, kv=kv,
                         task_id=pkt.task_id, offset=pkt.offset,
                         task_total=pkt.task_total, round=pkt.round)
         result.select_all_slots()
         state.mcast.send(result)
-        self._store_round_chunk(
-            state, config, pkt,
-            {pkt.offset + i: v for i, v in enumerate(corrected)})
+        self._store_round_chunk(state, config, pkt,
+                                dict(zip(key_range, corrected)))
 
     # ------------------------------------------------------------------
     # cache-update window: periodic LRU eviction (§5.2.2)

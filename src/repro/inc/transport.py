@@ -43,15 +43,15 @@ class _PendingEntry:
         # payload so a retransmission resends what the application wrote,
         # not whatever register state the first trip read back — a
         # reboot-resynced switch classifies that retransmission as fresh
-        # and would otherwise re-add a partial aggregate.
-        self._kv_values = [kv.value for kv in packet.kv]
+        # and would otherwise re-add a partial aggregate.  The value
+        # column is one buffer copy each way.
+        self._kv_values = packet.kv.values[:]
         self._is_of = packet.is_of
         self._ecn = packet.ecn
 
     def restore_payload(self) -> None:
         pkt = self.packet
-        for kv, value in zip(pkt.kv, self._kv_values):
-            kv.value = value
+        pkt.kv.values[:] = self._kv_values
         pkt.is_of = self._is_of
         pkt.ecn = self._ecn
 

@@ -122,7 +122,10 @@ class Duplicate(FaultModel):
     The duplicate is a :meth:`copy` when the packet supports it, so the
     two deliveries do not alias each other's in-place switch mutations —
     this is what makes the flip-bit retransmission filter (§5.1), not
-    object identity, responsible for idempotence.
+    object identity, responsible for idempotence.  With the columnar
+    payload (``KVBlock``), the copy's kv slots are duplicated as whole
+    column buffers, so a fault schedule that duplicates every packet no
+    longer dominates the run with per-pair object construction.
     """
 
     def __init__(self, rate: float, start: float = 0.0, until: float = _INF):

@@ -13,6 +13,7 @@ from .arith import (
     saturating_add,
     wrap32,
 )
+from .kvblock import KVBlock, KVSlot
 from .ops import StreamOp, apply_stream_op
 from .packets import KV_PAIRS_PER_PACKET, KVPair, Packet, full_bitmap
 from .rips import ClearPolicy, CntFwdSpec, ForwardTarget, RIPProgram, RetryMode
@@ -21,6 +22,7 @@ __all__ = [
     "INT32_MAX", "INT32_MIN", "Quantizer", "is_overflow_sentinel",
     "saturating_add", "wrap32",
     "StreamOp", "apply_stream_op",
-    "Packet", "KVPair", "KV_PAIRS_PER_PACKET", "full_bitmap",
+    "Packet", "KVPair", "KVBlock", "KVSlot", "KV_PAIRS_PER_PACKET",
+    "full_bitmap",
     "RIPProgram", "CntFwdSpec", "ClearPolicy", "ForwardTarget", "RetryMode",
 ]

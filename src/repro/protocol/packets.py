@@ -15,11 +15,13 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Tuple
+from typing import Any, Optional, Tuple
 
+from .kvblock import KVBlock, KVSlot
 from .ops import StreamOp
 
-__all__ = ["KVPair", "Packet", "KV_PAIRS_PER_PACKET", "full_bitmap"]
+__all__ = ["KVPair", "KVBlock", "KVSlot", "Packet", "KV_PAIRS_PER_PACKET",
+           "full_bitmap"]
 
 KV_PAIRS_PER_PACKET = 32
 
@@ -105,7 +107,9 @@ class Packet:
     client_id: int = 0
 
     # --- data -----------------------------------------------------------
-    kv: List[KVPair] = field(default_factory=list)
+    # Stored columnar (a KVBlock); list-of-KVPair arguments are converted
+    # in __post_init__ so row-oriented construction keeps working.
+    kv: KVBlock = field(default_factory=KVBlock)
     linear_base: Optional[int] = None  # linear addressing: keys elided
     payload: Any = None
     payload_bytes: int = 0
@@ -132,6 +136,8 @@ class Packet:
     _size = None
 
     def __post_init__(self):
+        if not isinstance(self.kv, KVBlock):
+            self.kv = KVBlock.from_pairs(self.kv)
         if len(self.kv) > KV_PAIRS_PER_PACKET:
             raise ValueError(
                 f"a packet carries at most {KV_PAIRS_PER_PACKET} kv pairs, "
@@ -184,8 +190,7 @@ class Packet:
         # matching replace() semantics.
         dup = object.__new__(Packet)
         state = dict(self.__dict__)
-        state["kv"] = [KVPair(p.addr, p.value, p.mapped, p.key)
-                       for p in self.kv]
+        state["kv"] = self.kv.copy()
         state["uid"] = next(_packet_ids)
         state.pop("_size", None)
         state.pop("_recirculated", None)

@@ -23,14 +23,11 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.protocol import (
-    INT32_MAX,
-    INT32_MIN,
     ClearPolicy,
     ForwardTarget,
     Packet,
     RIPProgram,
     StreamOp,
-    apply_stream_op,
 )
 
 from .admission import AppEntry
@@ -112,11 +109,11 @@ class RIPPipeline:
         """Packets from the server agent: clear on the way back (§5.2.2)."""
         recirc = False
         if pkt.is_clr and not retrans:
-            for index, kv in enumerate(pkt.kv):
-                if kv.mapped and pkt.slot_selected(index):
-                    local = self._local(kv.addr)
-                    if local is not None:
-                        self.registers.clear(local)
+            block = pkt.kv
+            select = block.mapped_mask & pkt.bitmap
+            if select:
+                self.registers.clear_block(block.addrs, select,
+                                           -self.phys_base)
             if pkt.is_cnf:
                 local = self._local(pkt.cnt_index)
                 if local is not None:
@@ -132,78 +129,44 @@ class RIPPipeline:
     # ------------------------------------------------------------------
     def _data_path(self, pkt: Packet, prog: RIPProgram, entry: AppEntry,
                    retrans: bool) -> Verdict:
-        # Per-kv loops below run once per data packet per switch — the
-        # hottest switchsim code.  Attribute lookups are hoisted and the
-        # bitmap/address tests inlined (no slot_selected/_local calls).
+        # Batch kernels below run once per data packet per switch — the
+        # hottest switchsim code.  All per-kv work happens inside the
+        # KVBlock / RegisterFile bulk operations (the only sanctioned
+        # register access path); the pipeline just computes masks.
         regs = self.registers
         recirc = False
-        kv_list = pkt.kv
+        block = pkt.kv
         bitmap = pkt.bitmap
         base = self.phys_base
-        capacity = regs.capacity
+        select = block.mapped_mask & bitmap
 
         # --- Stream.modify (stateless; the edge switch applies it once) --
         if prog.modify_op is not StreamOp.NOP and entry.edge:
-            op = prog.modify_op
-            para = prog.modify_para
-            for index, kv in enumerate(kv_list):
-                if not bitmap >> index & 1:
-                    continue
-                kv.value, overflowed = apply_stream_op(op, kv.value, para)
-                if overflowed:
-                    pkt.is_of = True
+            if block.modify(prog.modify_op, prog.modify_para, bitmap):
+                pkt.is_of = True
 
         # --- shadow mirror clear (costs a recirculation) ----------------
         if prog.clear is ClearPolicy.SHADOW and pkt.shadow_offset:
-            if not retrans:
-                offset = pkt.shadow_offset - base
-                clear = regs.clear
-                for index, kv in enumerate(kv_list):
-                    if kv.mapped and bitmap >> index & 1:
-                        local = kv.addr + offset
-                        if 0 <= local < capacity:
-                            clear(local)
+            if not retrans and select:
+                regs.clear_block(block.addrs, select,
+                                 pkt.shadow_offset - base)
             recirc = True
 
-        # --- Map.addTo ----------------------------------------------------
-        # The register update is inlined (one RegisterFile.add call per kv
-        # costs more than the arithmetic); semantics mirror
-        # RegisterFile.add exactly, and the local-range check above
-        # replaces its bounds check.
-        if prog.uses_add_to and not retrans:
-            values = regs._values
-            sticky_set = regs._sticky_overflow
-            for index, kv in enumerate(kv_list):
-                if kv.mapped and bitmap >> index & 1:
-                    local = kv.addr - base
-                    if 0 <= local < capacity:
-                        if local in sticky_set:
-                            kv.value = INT32_MAX
-                            pkt.is_of = True
-                            continue
-                        result = values.get(local, 0) + kv.value
-                        if result > INT32_MAX or result < INT32_MIN:
-                            sticky_set.add(local)
-                            kv.value = INT32_MAX
-                            pkt.is_of = True
-                        elif result:
-                            values[local] = result
-                        else:
-                            values.pop(local, None)
-
-        # --- Map.get --------------------------------------------------------
-        if prog.uses_get:
-            values = regs._values
-            sticky_set = regs._sticky_overflow
-            for index, kv in enumerate(kv_list):
-                if kv.mapped and bitmap >> index & 1:
-                    local = kv.addr - base
-                    if 0 <= local < capacity:
-                        if local in sticky_set:
-                            kv.value = INT32_MAX
-                            pkt.is_of = True
-                        else:
-                            kv.value = values.get(local, 0)
+        # --- Map.addTo + Map.get -----------------------------------------
+        # Linear-addressed packets carry distinct consecutive addresses,
+        # so addTo and get fuse into one pass; the general path keeps the
+        # two-pass order (all adds before all gets) that duplicate
+        # addresses require.
+        if select:
+            do_add = prog.uses_add_to and not retrans
+            if do_add and prog.uses_get and pkt.linear_base is not None:
+                if regs.add_get_block(block, select, base):
+                    pkt.is_of = True
+            else:
+                if do_add and regs.add_block(block, select, base):
+                    pkt.is_of = True
+                if prog.uses_get and regs.get_block(block, select, base):
+                    pkt.is_of = True
 
         if not entry.edge:
             # Upstream switch in a chain: local pairs are done, the
@@ -222,9 +185,8 @@ class RIPPipeline:
             # addresses, the Map.addTo above already incremented it (the
             # paper's §5.2.3: CntFwd rides the normal map-access pipeline);
             # only ClientID-style side counters need the extra add.
-            counted_by_add = prog.uses_add_to and any(
-                kv.mapped and kv.addr == pkt.cnt_index and
-                pkt.slot_selected(i) for i, kv in enumerate(pkt.kv))
+            counted_by_add = prog.uses_add_to and \
+                block.selected_contains(pkt.cnt_index, select)
             if not retrans and not counted_by_add:
                 regs.add(cnt_local, 1)
             count = regs.read_raw(cnt_local)
@@ -263,7 +225,7 @@ class RIPPipeline:
         # threshold == 0 (or CntFwd disabled): unconditional forward.
         if prog.clear is ClearPolicy.COPY and \
                 spec.target is not ForwardTarget.SERVER and \
-                any(kv.mapped for kv in pkt.kv):
+                block.any_mapped:
             # A clearing method (e.g. lock Release): the server backs up
             # the values and its return stream performs the clear.
             return Verdict(Action.FORWARD, dst=entry.server,

@@ -89,18 +89,6 @@ class RegisterFile:
             return INT32_MAX
         return self._values.get(addr, 0)
 
-    def read_for_get(self, addr: int) -> Tuple[int, bool]:
-        """Fused Map.get read: ``(value_with_sentinel, sticky)``.
-
-        One call instead of a ``read`` + ``is_sticky`` pair in the
-        pipeline's per-kv loop.
-        """
-        if addr < 0 or addr >= self.capacity:
-            self._check(addr)
-        if addr in self._sticky_overflow:
-            return INT32_MAX, True
-        return self._values.get(addr, 0), False
-
     def read_raw(self, addr: int) -> int:
         """Control-plane read: the exact stored value, ignoring sticky bits."""
         self._check(addr)
@@ -150,14 +138,175 @@ class RegisterFile:
         return addr in self._sticky_overflow
 
     # ------------------------------------------------------------------
+    # Bulk kernels: the sanctioned batch API for the pipeline's fused
+    # per-packet loops (one call per primitive per packet instead of one
+    # method call per kv slot).  ``select`` is a bitmask over the block's
+    # slots (typically ``block.mapped_mask & pkt.bitmap``); ``base`` is
+    # the switch's position in the global physical address space — slots
+    # whose translated address falls outside ``[0, capacity)`` belong to
+    # another switch in the chain and are skipped, exactly like the old
+    # per-kv ``_local`` test.  Each kernel mirrors the scalar method's
+    # semantics bit for bit (see tests/switchsim/test_kvblock_kernels.py
+    # for the differential proof).
+    # ------------------------------------------------------------------
+    def add_block(self, block, select: int, base: int = 0) -> bool:
+        """Batch ``Map.addTo``: one :meth:`add` per selected in-window slot.
+
+        Sticky or overflowing slots get the ``INT32_MAX`` sentinel written
+        back into the block (the on-wire overflow mark); the return value
+        says whether any slot overflowed, so the caller can set the
+        packet's ``is_of`` flag.
+        """
+        addrs = block.addrs
+        slot_values = block.values
+        values = self._values
+        sticky = self._sticky_overflow
+        capacity = self.capacity
+        overflowed = False
+        get = values.get
+        full = select == (1 << len(addrs)) - 1
+        for index, addr in enumerate(addrs):
+            if full or select >> index & 1:
+                local = addr - base
+                if 0 <= local < capacity:
+                    # `sticky and` keeps the empty-set steady state to a
+                    # truthiness test; the membership check still guards
+                    # duplicate addresses after a mid-packet overflow.
+                    if sticky and local in sticky:
+                        slot_values[index] = INT32_MAX
+                        overflowed = True
+                        continue
+                    result = get(local, 0) + slot_values[index]
+                    if result > INT32_MAX or result < INT32_MIN:
+                        sticky.add(local)
+                        slot_values[index] = INT32_MAX
+                        overflowed = True
+                    elif result:
+                        values[local] = result
+                    else:
+                        values.pop(local, None)
+        return overflowed
+
+    def get_block(self, block, select: int, base: int = 0) -> bool:
+        """Batch ``Map.get``: read each selected in-window slot's register.
+
+        Sticky registers read as ``INT32_MAX``; returns whether any slot
+        was sticky (the packet-level overflow signal).
+        """
+        addrs = block.addrs
+        slot_values = block.values
+        values = self._values
+        sticky = self._sticky_overflow
+        capacity = self.capacity
+        overflowed = False
+        get = values.get
+        full = select == (1 << len(addrs)) - 1
+        for index, addr in enumerate(addrs):
+            if full or select >> index & 1:
+                local = addr - base
+                if 0 <= local < capacity:
+                    if sticky and local in sticky:
+                        slot_values[index] = INT32_MAX
+                        overflowed = True
+                    else:
+                        slot_values[index] = get(local, 0)
+        return overflowed
+
+    def add_get_block(self, block, select: int, base: int = 0) -> bool:
+        """Fused ``Map.addTo`` + ``Map.get`` in one pass over the block.
+
+        Only valid when the selected slots carry *distinct* addresses
+        (guaranteed for linear-addressed packets, which use consecutive
+        addresses): with duplicates, the two-pass kernels would return
+        the final register value for every duplicate slot, while a fused
+        pass would return partial sums.  Callers gate on
+        ``pkt.linear_base is not None``.
+        """
+        addrs = block.addrs
+        slot_values = block.values
+        values = self._values
+        sticky = self._sticky_overflow
+        capacity = self.capacity
+        overflowed = False
+        get = values.get
+        if not sticky and select == (1 << len(addrs)) - 1:
+            # Fast path for the steady state of a full linear packet:
+            # every slot selected, no sticky registers anywhere — the
+            # per-slot mask test and sticky membership test drop out.
+            for index, addr in enumerate(addrs):
+                local = addr - base
+                if 0 <= local < capacity:
+                    result = get(local, 0) + slot_values[index]
+                    if result > INT32_MAX or result < INT32_MIN:
+                        sticky.add(local)
+                        slot_values[index] = INT32_MAX
+                        overflowed = True
+                    elif result:
+                        values[local] = result
+                        slot_values[index] = result
+                    else:
+                        values.pop(local, None)
+                        slot_values[index] = 0
+            return overflowed
+        for index, addr in enumerate(addrs):
+            if select >> index & 1:
+                local = addr - base
+                if 0 <= local < capacity:
+                    if local in sticky:
+                        slot_values[index] = INT32_MAX
+                        overflowed = True
+                        continue
+                    result = get(local, 0) + slot_values[index]
+                    if result > INT32_MAX or result < INT32_MIN:
+                        sticky.add(local)
+                        slot_values[index] = INT32_MAX
+                        overflowed = True
+                    elif result:
+                        values[local] = result
+                        slot_values[index] = result
+                    else:
+                        values.pop(local, None)
+                        slot_values[index] = 0
+        return overflowed
+
+    def clear_block(self, addrs: Iterable[int], select: int = -1,
+                    offset: int = 0) -> None:
+        """Batch ``Map.clear`` over ``addrs`` (plus ``offset``) per mask.
+
+        ``select = -1`` clears every address.  Out-of-window addresses
+        are skipped silently — the pipeline's return path and shadow
+        clear both tolerate pairs owned by the other switch in a chain.
+        """
+        values = self._values
+        sticky = self._sticky_overflow
+        capacity = self.capacity
+        pop = values.pop
+        discard = sticky.discard
+        if select == -1 or select == (1 << len(addrs)) - 1:
+            for addr in addrs:
+                local = addr + offset
+                if 0 <= local < capacity:
+                    pop(local, None)
+                    discard(local)
+            return
+        for index, addr in enumerate(addrs):
+            if select >> index & 1:
+                local = addr + offset
+                if 0 <= local < capacity:
+                    pop(local, None)
+                    discard(local)
+
+    # ------------------------------------------------------------------
     def read_and_clear(self, addrs: Iterable[int]) -> List[Tuple[int, int, bool]]:
         """Control-plane eviction: (addr, exact value, was_sticky) triples."""
         out = []
-        for addr in addrs:
+        values = self._values
+        sticky = self._sticky_overflow
+        addr_list = list(addrs)
+        for addr in addr_list:
             self._check(addr)
-            out.append((addr, self._values.get(addr, 0),
-                        addr in self._sticky_overflow))
-            self.clear(addr)
+            out.append((addr, values.get(addr, 0), addr in sticky))
+        self.clear_block(addr_list)
         return out
 
     @property
