@@ -201,9 +201,21 @@ def main(argv=None) -> int:
                              "for the speedup A/B)")
     parser.add_argument("--no-sweep", action="store_true",
                         help="skip the sweep-engine speedup section")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="after the timed section, run one traced "
+                             "exp_micro(fast=True): Perfetto JSON at PATH "
+                             "plus a metrics JSONL next to it")
     args = parser.parse_args(argv)
 
     results = measure(fast=args.fast)
+
+    if args.trace:
+        # Traced run sits outside the timed section: tracing's (small)
+        # recording cost must never leak into the regression numbers.
+        from repro.obs import metrics_path_for, run_traced
+        run_traced(exp_micro.run, args.trace, fast=True)
+        print(f"traced exp_micro(fast) written to {args.trace} "
+              f"(metrics: {metrics_path_for(args.trace)})")
 
     sweep = None
     if not args.no_sweep:

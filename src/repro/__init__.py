@@ -5,9 +5,9 @@ discrete-event dataplane simulator.  See DESIGN.md for the architecture
 and EXPERIMENTS.md for the paper-vs-measured evaluation.
 """
 
-from . import control, core, inc, netsim, protocol, switchsim
+from . import control, core, inc, netsim, obs, protocol, switchsim
 
 __version__ = "1.0.0"
 
-__all__ = ["core", "inc", "switchsim", "netsim", "control", "protocol",
-           "__version__"]
+__all__ = ["core", "inc", "switchsim", "netsim", "control", "obs",
+           "protocol", "__version__"]

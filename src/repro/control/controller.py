@@ -21,7 +21,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.inc import AppConfig, ClientAgent, MemoryRegion, ServerAgent
-from repro.netsim import Calibration, DEFAULT_CALIBRATION, Simulator
+from repro.netsim import Calibration, Counter, DEFAULT_CALIBRATION, Simulator
+from repro.obs.tracer import TRACE
 from repro.protocol import RIPProgram
 from repro.switchsim import AppEntry, NetRPCSwitch
 
@@ -140,6 +141,11 @@ class Controller:
         # can re-install admission entries verbatim after a switch loses
         # its dataplane state (mcast_groups may differ from clients).
         self._installed_members: Dict[int, Tuple[str, ...]] = {}
+        # Failover audit trail: counters plus an ordered event log of
+        # (what, when, switch, entries_reinstalled, flows_resynced)
+        # tuples — both picklable, so sweep workers can ship them back.
+        self.audit = Counter()
+        self.audit_log: List[tuple] = []
 
     # ------------------------------------------------------------------
     # agent registry (hosts announce their agents at startup)
@@ -319,6 +325,7 @@ class Controller:
         """
         now = self.sim.now
         edge = self.switches[-1]
+        entries = 0
         for registration in self._registrations.values():
             for config in registration.configs:
                 if not config.has_switch or config.gaid in switch.admission:
@@ -329,13 +336,27 @@ class Controller:
                     gaid=config.gaid, program=config.program,
                     server=registration.server, clients=members,
                     edge=switch is edge, last_seen=now))
+                entries += 1
         agents = list(self._client_agents.values()) + \
             list(self._server_agents.values())
+        flows = 0
         for agent in agents:
             for flow in agent.all_flows():
                 if flow.srrt >= 0:
                     switch.flow_state.restore(flow.srrt,
                                               flow.flip_resync_bits())
+                    flows += 1
+                    if TRACE.enabled:
+                        TRACE.instant("inc.resync", now, switch.name,
+                                      (flow.srrt,))
+        audit = self.audit
+        audit.add("failovers")
+        audit.add("entries_reinstalled", entries)
+        audit.add("flows_resynced", flows)
+        self.audit_log.append(("failover", now, switch.name, entries, flows))
+        if TRACE.enabled:
+            TRACE.instant("control.failover", now, switch.name,
+                          (entries, flows))
 
     # ------------------------------------------------------------------
     def poll_switch_timestamps(self) -> Dict[int, float]:

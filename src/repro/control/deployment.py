@@ -22,6 +22,7 @@ from repro.netsim import (
 from repro.netsim.topology import chain as chain_topo
 from repro.netsim.topology import dumbbell as dumbbell_topo
 from repro.netsim.topology import star as star_topo
+from repro.obs import MetricsRegistry
 from repro.switchsim import NetRPCSwitch
 
 from .controller import Controller
@@ -44,6 +45,7 @@ class Deployment:
     client_agents: Dict[str, ClientAgent]
     server_agents: Dict[str, ServerAgent]
     controller: Controller
+    metrics: Optional[MetricsRegistry] = None
 
     def client_agent(self, index: int = 0) -> ClientAgent:
         return self.client_agents[self.clients[index].name]
@@ -166,7 +168,57 @@ def _finish(sim: Simulator, cal: Calibration, topo: Topology,
         controller.attach_client_agent(agent)
     for agent in server_agents.values():
         controller.attach_server_agent(agent)
+    metrics = _build_registry(sim, topo, switches, client_agents,
+                              server_agents, controller)
     return Deployment(sim=sim, cal=cal, topology=topo, switches=switches,
                       clients=clients, servers=servers,
                       client_agents=client_agents,
-                      server_agents=server_agents, controller=controller)
+                      server_agents=server_agents, controller=controller,
+                      metrics=metrics)
+
+
+def _build_registry(sim: Simulator, topo: Topology,
+                    switches: List[NetRPCSwitch],
+                    client_agents: Dict[str, ClientAgent],
+                    server_agents: Dict[str, ServerAgent],
+                    controller: Controller) -> MetricsRegistry:
+    """One namespaced registry spanning every instrument in the build.
+
+    The registry holds strong references; it lives exactly as long as
+    the :class:`Deployment` that owns it, so registration never extends
+    an instrument's lifetime.
+    """
+    reg = MetricsRegistry("deployment")
+    reg.register("sim", sim,
+                 snapshot=lambda s: {"events": s._sequence, "now": s.now})
+    for link in topo.links.values():
+        reg.register(f"link.{link.name}", link.stats)
+    for switch in switches:
+        reg.register(f"switch.{switch.name}", switch.stats)
+        reg.register(f"pipeline.{switch.name}", switch.pipeline.stats)
+    for name, agent in client_agents.items():
+        reg.register(f"client.{name}", agent.host.stats)
+        reg.register(f"client.{name}.agent", agent,
+                     snapshot=lambda a: dict(a.stats))
+        reg.register(f"client.{name}.flows", agent,
+                     snapshot=_flow_snapshot)
+    for name, agent in server_agents.items():
+        reg.register(f"server.{name}", agent.host.stats)
+        reg.register(f"server.{name}.agent", agent,
+                     snapshot=lambda a: dict(a.stats))
+        reg.register(f"server.{name}.flows", agent,
+                     snapshot=_flow_snapshot)
+    reg.register("control.audit", controller.audit)
+    return reg
+
+
+def _flow_snapshot(agent) -> Dict[str, float]:
+    """Aggregate transport/congestion counters across an agent's flows."""
+    total: Dict[str, float] = {}
+    for flow in agent.all_flows():
+        for key, value in flow.stats.items():
+            total[key] = total.get(key, 0) + value
+        for key, value in flow.cc.stats.items():
+            total[f"cc.{key}"] = total.get(f"cc.{key}", 0) + value
+    total["cwnd"] = sum(f.cc.cwnd for f in agent.all_flows())
+    return total

@@ -311,6 +311,10 @@ class ChaosRunResult:
     residue: int
     switch_stats: Dict[str, float]
     server_stats: Dict[str, float]
+    # Failover audit trail (controller-recorded; both picklable so the
+    # sweep engine's subprocess workers can ship them back unchanged).
+    audit: Dict[str, float] = field(default_factory=dict)
+    audit_trail: List[tuple] = field(default_factory=list)
 
 
 def chaos_task_values(n_clients: int, n_values: int) -> List[List[tuple]]:
@@ -430,7 +434,9 @@ def run_chaos_sync_round(n_clients: int = 2, n_values: int = 256,
         fingerprint=fingerprint, violations=list(checker.violations),
         residue=residue,
         switch_stats=deployment.switches[0].stats.as_dict(),
-        server_stats=dict(deployment.server_agent(0).stats))
+        server_stats=dict(deployment.server_agent(0).stats),
+        audit=deployment.controller.audit.as_dict(),
+        audit_trail=list(deployment.controller.audit_log))
 
 
 def reboot_schedule_factory(frac: float) -> Callable[[float, Deployment],

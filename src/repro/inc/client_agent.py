@@ -23,6 +23,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.netsim import Calibration, DEFAULT_CALIBRATION, Host, Simulator
 from repro.netsim.events import Event
+from repro.obs.tracer import TRACE
 from repro.protocol import (
     ClearPolicy,
     ForwardTarget,
@@ -192,6 +193,18 @@ class ClientAgent:
         config = task.app
         state = self._apps[config.program.app_name]
         done = self.sim.event()
+        if TRACE.enabled:
+            # Span recorded at completion time; the exporter re-sorts by
+            # start timestamp so late recording never breaks monotonicity.
+            sim, t0, where = self.sim, self.sim.now, self.host.name
+            task_id = task.task_id
+
+            def _trace_done(_event) -> None:
+                if TRACE.enabled:
+                    TRACE.record("client.task", t0, sim.now, where,
+                                 (task_id,))
+
+            done.add_callback(_trace_done)
         tstate = _TaskState(task, done)
         state.tasks[task.task_id] = tstate
         if config.linear and task.items:

@@ -17,6 +17,7 @@ the paper's with/without-congestion-control comparison (Figure 9).
 from __future__ import annotations
 
 from repro.netsim import Calibration, DEFAULT_CALIBRATION
+from repro.obs.tracer import TRACE
 
 __all__ = ["AIMDController", "DCTCPController", "make_controller"]
 
@@ -65,6 +66,8 @@ class AIMDController:
                                  self._cwnd * self.cal.aimd_decrease)
                 self._last_decrease = now
                 self.stats["decreases"] += 1
+                if TRACE.enabled:
+                    TRACE.instant("cc.decrease", now, "cc", (self.cwnd,))
             return
         self._cwnd = min(float(self.cal.w_max),
                          self._cwnd + self.cal.aimd_increase / self._cwnd)
@@ -131,6 +134,9 @@ class DCTCPController(AIMDController):
                                  self._cwnd * (1 - self.alpha / 2))
                 if fraction > 0:
                     self.stats["decreases"] += 1
+                    if TRACE.enabled:
+                        TRACE.instant("cc.decrease", now, "cc",
+                                      (self.cwnd,))
             self._last_decrease = now
             self._window_acks = 0
             self._window_marked = 0

@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.netsim import Calibration, DEFAULT_CALIBRATION, Host, Simulator
+from repro.obs.tracer import TRACE
 from repro.protocol import (
     ClearPolicy,
     ForwardTarget,
@@ -237,9 +238,15 @@ class ServerAgent:
             # silent wrong answer) — drop it without an ACK instead, so
             # the sender retransmits after the controller re-installs.
             self.stats["unprocessed_rx"] += 1
+            if TRACE.enabled:
+                TRACE.instant("server.gate", self.sim.now, self.host.name,
+                              (pkt.gaid, pkt.seq))
             return
 
         self.stats["data_rx"] += 1
+        if TRACE.enabled:
+            TRACE.instant("server.rx", self.sim.now, self.host.name,
+                          (pkt.gaid, pkt.seq))
         flow_key = (pkt.src, pkt.flow_id)
         seen = state.seen.setdefault(flow_key, set())
         if pkt.seq in seen:

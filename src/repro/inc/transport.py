@@ -19,6 +19,7 @@ from collections import deque
 from typing import Callable, Deque, Dict, Optional, Tuple
 
 from repro.netsim import Calibration, DEFAULT_CALIBRATION, Host, Simulator
+from repro.obs.tracer import TRACE
 from repro.protocol import Packet, RetryMode
 
 from .congestion import make_controller
@@ -145,6 +146,9 @@ class ReliableFlow:
         else:
             self._pending[packet.seq] = _PendingEntry(packet, now + rto, now)
             self.stats["sent"] += 1
+            if TRACE.enabled:
+                TRACE.instant("flow.tx", now, self.host.name,
+                              (self.flow_id, packet.seq))
         self.host.send(wire, self.next_hop)
         self._arm_timer(now + rto)
 
@@ -184,6 +188,10 @@ class ReliableFlow:
         if entry.attempts >= self.MAX_ATTEMPTS:
             self._abandon(seq, entry)
             return
+        if TRACE.enabled:
+            cause = "fresh" if self.retry_mode is RetryMode.FRESH else "rto"
+            TRACE.instant("flow.retx", self.sim.now, self.host.name,
+                          (self.flow_id, seq, cause))
         if self.retry_mode is RetryMode.FRESH:
             # The original was intentionally absorbed (test&set below
             # threshold); retry as a brand-new attempt so the counter
@@ -213,6 +221,9 @@ class ReliableFlow:
         self._acked.add(seq)
         self._advance_base()
         self.stats["abandoned"] += 1
+        if give_up and TRACE.enabled:
+            TRACE.instant("flow.abandon", self.sim.now, self.host.name,
+                          (self.flow_id, seq))
         if give_up and self.on_give_up is not None:
             self.on_give_up(entry.packet)
         self._pump()
@@ -231,6 +242,12 @@ class ReliableFlow:
         self.stats["acked"] += 1
         self.cc.observe_rtt(self.sim.now - entry.sent_at)
         self.cc.on_ack(ecn, self.sim.now)
+        if TRACE.enabled:
+            now = self.sim.now
+            TRACE.instant("flow.ack", now, self.host.name,
+                          (self.flow_id, seq))
+            TRACE.instant("cc.window", now, self.host.name,
+                          (self.flow_id, self.cc.cwnd))
         self._chunk_to_seq.pop(entry.packet.chunk_id, None)
         self._advance_base()
         self._fast_retransmit_check(seq)
@@ -249,6 +266,9 @@ class ReliableFlow:
         self.cc.on_fast_loss(self.sim.now)
         self.stats["fast_retransmits"] = \
             self.stats.get("fast_retransmits", 0) + 1
+        if TRACE.enabled:
+            TRACE.instant("flow.retx", self.sim.now, self.host.name,
+                          (self.flow_id, self._send_base, "fast"))
         self._transmit(head.packet, first=False)
 
     def ack_chunk(self, chunk_id: Tuple[int, int], ecn: bool = False

@@ -16,6 +16,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Callable, Deque, Optional, Tuple
 
+from repro.obs.tracer import TRACE
+
 from .simulator import Simulator
 from .trace import Counter
 
@@ -175,10 +177,15 @@ class Link:
         qlen = len(queue)
         if qlen >= self.queue_capacity_pkts:
             stats.add("queue_drops")
+            if TRACE.enabled:
+                TRACE.instant("link.drop", self.sim.now, self.name,
+                              ("queue",))
             return False
         if qlen >= self.ecn_threshold_pkts and hasattr(packet, "ecn"):
             packet.ecn = True
             stats.add("ecn_marks")
+            if TRACE.enabled:
+                TRACE.instant("link.ecn", self.sim.now, self.name)
         if self._fused:
             sim = self.sim
             now = sim.now
@@ -192,6 +199,10 @@ class Link:
                 self._free_at = free
                 sim.schedule_at(free + self.delay_s, self._deliver_fused,
                                 packet)
+                if TRACE.enabled:
+                    TRACE.record("link.serialize", now, free, self.name)
+                    TRACE.record("link.propagate", free,
+                                 free + self.delay_s, self.name)
             else:
                 queue.append(packet)
                 if not self._pop_pending:
@@ -219,6 +230,10 @@ class Link:
         free = sim.now + wire_bytes * 8.0 / self.bandwidth_bps
         self._free_at = free
         sim.schedule_at(free + self.delay_s, self._deliver_fused, packet)
+        if TRACE.enabled:
+            TRACE.record("link.serialize", sim.now, free, self.name)
+            TRACE.record("link.propagate", free, free + self.delay_s,
+                         self.name)
         if queue:
             sim.schedule_at(free, self._start_next, None)
         else:
@@ -253,6 +268,9 @@ class Link:
         wire_bytes = packet.size_bytes + ETHERNET_OVERHEAD_BYTES
         tx_time = wire_bytes * 8.0 / self.bandwidth_bps
         self.sim.schedule(tx_time, self._tx_done, packet)
+        if TRACE.enabled:
+            now = self.sim.now
+            TRACE.record("link.serialize", now, now + tx_time, self.name)
 
     def _tx_done(self, packet: Any) -> None:
         self.stats.add("sent_pkts")
@@ -262,12 +280,27 @@ class Link:
             # Fault-model path: the model plans each packet's deliveries
             # as (extra_delay, packet) tuples — empty = dropped, two
             # entries = duplicated, positive extra delay = reordered.
-            for extra, out in plan(packet, self):
+            deliveries = list(plan(packet, self))
+            if TRACE.enabled and not deliveries:
+                TRACE.instant("link.drop", self.sim.now, self.name,
+                              ("wire",))
+            for extra, out in deliveries:
                 self.sim.schedule(self.delay_s + extra, self._deliver, out)
+                if TRACE.enabled:
+                    now = self.sim.now
+                    TRACE.record("link.propagate", now,
+                                 now + self.delay_s + extra, self.name)
         elif self._loss.drops(packet, self.sim.rng):
             self.stats.add("wire_drops")
+            if TRACE.enabled:
+                TRACE.instant("link.drop", self.sim.now, self.name,
+                              ("wire",))
         else:
             self.sim.schedule(self.delay_s, self._deliver, packet)
+            if TRACE.enabled:
+                now = self.sim.now
+                TRACE.record("link.propagate", now, now + self.delay_s,
+                             self.name)
         self._transmit_next()
 
     def _deliver(self, packet: Any) -> None:

@@ -12,6 +12,8 @@ from __future__ import annotations
 from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.obs.tracer import TRACE
+
 from .link import Link
 from .simulator import Simulator
 from .trace import Counter
@@ -104,6 +106,9 @@ class Host(Node):
         if self._paused_until is None or until > self._paused_until:
             self._paused_until = until
             self.stats.add("pauses")
+            if TRACE.enabled:
+                TRACE.instant("host.pause", self.sim.now, self.name,
+                              (duration_s,))
             self.sim.schedule_at(until, self._resume, until)
 
     def _resume(self, when: float) -> None:
@@ -141,6 +146,8 @@ class Host(Node):
         done = start + cost
         heappush(core_free, done)
         sim.schedule(done - now, self._dispatch, (packet, link))
+        if TRACE.enabled:
+            TRACE.record("host.cpu", start, done, self.name)
 
     def _dispatch(self, pair) -> None:
         packet, link = pair
@@ -175,6 +182,8 @@ class Host(Node):
         done = start + cost_s
         heappush(core_free, done)
         sim.schedule(done - now, fn, arg)
+        if TRACE.enabled:
+            TRACE.record("host.cpu", start, done, self.name)
 
     def cpu_utilisation_until(self, horizon: float) -> float:
         """Fraction of core-time consumed, assuming no further arrivals."""

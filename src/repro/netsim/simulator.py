@@ -27,6 +27,8 @@ import random
 from time import perf_counter
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
+from repro.obs.tracer import TRACE
+
 from .events import AllOf, AnyOf, Event, EventFailed, Interrupt, Timeout
 
 __all__ = ["Simulator", "Process", "SimulationError", "WallClockExceeded",
@@ -169,6 +171,10 @@ class Simulator:
         self.rng = random.Random(seed)
         self._finished = False
         self._wall_deadline = _GLOBAL_WALL_DEADLINE
+        if TRACE.enabled:
+            # Each simulator is its own trace epoch, so sequential runs
+            # in one process never interleave on the exported timeline.
+            TRACE.begin_epoch()
 
     def set_wall_deadline(self, deadline: Optional[float]) -> None:
         """Cancel this simulator's run loops past an absolute

@@ -44,12 +44,14 @@ class Counter:
 
     ``add`` sits on the per-packet hot path (several calls per hop), so
     the class is slotted and the increment avoids a ``dict.get`` in the
-    common already-present-key case.  Bulk benchmark drivers that do not
-    read the counters can :meth:`disable` an instance, turning ``add``
-    into a near-no-op.
+    common already-present-key case.  Bulk drivers that do not read the
+    counters should go through
+    :meth:`repro.obs.MetricsRegistry.disable_all` rather than disabling
+    instances one by one, so enable state cannot desynchronise across
+    the deployment (per-instance :meth:`disable` remains for tests).
     """
 
-    __slots__ = ("_counts", "enabled")
+    __slots__ = ("_counts", "enabled", "__weakref__")
 
     def __init__(self):
         self._counts: Dict[str, float] = {}

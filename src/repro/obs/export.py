@@ -1,0 +1,271 @@
+"""Exporters: Chrome/Perfetto trace-event JSON, metrics JSONL, validator.
+
+The trace export follows the Chrome trace-event format (the JSON object
+form with a ``traceEvents`` list), which Perfetto's UI loads directly:
+
+* duration spans become ``"ph": "X"`` (complete) events with ``ts`` and
+  ``dur`` in *microseconds* of simulated time;
+* instants become ``"ph": "i"`` events with thread scope;
+* each run epoch maps to a ``pid`` (its own process lane in the UI)
+  and each ``where`` track to a ``tid``, with ``"M"`` metadata events
+  naming both.
+
+Events are emitted sorted by ``(pid, ts, tid)`` so the validator's
+monotonicity check is a property of the *exporter*, not of record
+insertion order (spans recorded at completion, like ``client.task``,
+start earlier than the records around them).
+
+``validate_chrome_trace`` is the schema check CI runs against a traced
+``exp_micro``: monotonic non-negative timestamps per process lane,
+non-negative durations, balanced ``B``/``E`` stacks (trivially — this
+exporter only emits complete events), and span↔metrics count
+consistency against the recorder's own per-kind counters (exact when
+nothing was evicted from the ring).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from .registry import collected_snapshots
+from .tracer import FlightRecorder
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_metrics_jsonl",
+    "load_trace",
+    "load_metrics_jsonl",
+    "validate_chrome_trace",
+    "ARG_NAMES",
+]
+
+# Positional arg tuples in trace records are compact on the hot path;
+# the exporter names them here so the JSON (and Perfetto's args pane)
+# stays self-describing.
+ARG_NAMES: Dict[str, tuple] = {
+    "switch.pipeline": ("gaid", "action", "retx"),
+    "switch.unadmitted": ("gaid",),
+    "switch.recirculate": ("gaid",),
+    "regs.kernel": ("op", "pairs"),
+    "link.drop": ("cause",),
+    "flow.tx": ("flow", "seq"),
+    "flow.retx": ("flow", "seq", "cause"),
+    "flow.ack": ("flow", "seq"),
+    "flow.abandon": ("flow", "seq"),
+    "cc.window": ("flow", "cwnd"),
+    "cc.decrease": ("cwnd",),
+    "server.rx": ("gaid", "seq"),
+    "server.gate": ("gaid", "seq"),
+    "host.pause": ("duration_s",),
+    "control.failover": ("entries", "flows"),
+    "inc.resync": ("srrt",),
+    "client.task": ("task",),
+}
+
+_US = 1e6   # simulated seconds -> trace microseconds
+
+
+def _args_dict(kind: str, args: Optional[tuple]) -> Optional[Dict]:
+    if args is None:
+        return None
+    names = ARG_NAMES.get(kind)
+    if names is None or len(names) != len(args):
+        return {"args": list(args)}
+    return dict(zip(names, args))
+
+
+def chrome_trace(recorder: FlightRecorder) -> Dict[str, Any]:
+    """Build the Chrome trace-event JSON object for one recorder."""
+    events: List[Dict[str, Any]] = []
+    tids: Dict[tuple, int] = {}
+    pids = set()
+    for epoch, kind, start, end, where, args in recorder.records():
+        pid = epoch
+        key = (epoch, where)
+        tid = tids.get(key)
+        if tid is None:
+            tid = tids[key] = len(tids) + 1
+            events.append({"name": "thread_name", "ph": "M", "pid": pid,
+                           "tid": tid, "ts": 0,
+                           "args": {"name": where}})
+        event: Dict[str, Any] = {
+            "name": kind,
+            "cat": kind.partition(".")[0],
+            "pid": pid,
+            "tid": tid,
+            "ts": start * _US,
+        }
+        if end is None:
+            event["ph"] = "i"
+            event["s"] = "t"
+        else:
+            event["ph"] = "X"
+            event["dur"] = max(0.0, (end - start) * _US)
+        extra = _args_dict(kind, args)
+        if extra is not None:
+            event["args"] = extra
+        events.append(event)
+        pids.add(pid)
+    for pid in sorted(pids):
+        events.append({"name": "process_name", "ph": "M", "pid": pid,
+                       "tid": 0, "ts": 0,
+                       "args": {"name": f"run epoch {pid}"}})
+    # Metadata first, then (pid, ts, tid): the validator's monotonicity
+    # contract and a stable on-disk ordering for diffing two dumps.
+    events.sort(key=lambda e: (e["ph"] != "M", e["pid"], e["ts"],
+                               e["tid"]))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "span_counts": dict(recorder.counts),
+            "total_records": recorder.total,
+            "dropped_records": recorder.dropped,
+            "capacity": recorder.capacity,
+            "time_unit": "us of simulated time",
+        },
+    }
+
+
+def write_chrome_trace(recorder: FlightRecorder, path) -> Dict[str, Any]:
+    trace = chrome_trace(recorder)
+    with open(path, "w") as fh:
+        json.dump(trace, fh, sort_keys=True)
+    return trace
+
+
+def write_metrics_jsonl(path, recorder: Optional[FlightRecorder] = None
+                        ) -> int:
+    """Flat metrics dump: one JSON line per registered instrument.
+
+    Includes every collected/live :class:`MetricsRegistry` plus (when a
+    recorder is given) the flight recorder's own per-kind span counters
+    — the line the validator cross-checks against the trace.
+    """
+    lines = 0
+    with open(path, "w") as fh:
+        if recorder is not None:
+            fh.write(json.dumps({
+                "registry": "flight-recorder", "metric": "spans",
+                "values": dict(recorder.counts)}, sort_keys=True) + "\n")
+            fh.write(json.dumps({
+                "registry": "flight-recorder", "metric": "recorder",
+                "values": {"total_records": recorder.total,
+                           "dropped_records": recorder.dropped,
+                           "capacity": recorder.capacity}},
+                sort_keys=True) + "\n")
+            lines += 2
+        for reg_name, entries in collected_snapshots():
+            for metric, values in entries.items():
+                fh.write(json.dumps({"registry": reg_name, "metric": metric,
+                                     "values": values}, sort_keys=True,
+                                    default=str) + "\n")
+                lines += 1
+    return lines
+
+
+def load_trace(path) -> Dict[str, Any]:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def load_metrics_jsonl(path) -> List[Dict[str, Any]]:
+    out = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# schema validation (the CI tier-2 gate)
+# ---------------------------------------------------------------------------
+def validate_chrome_trace(trace: Dict[str, Any],
+                          metrics: Optional[List[Dict[str, Any]]] = None
+                          ) -> List[str]:
+    """Return a list of schema violations (empty = valid).
+
+    Checks: structural shape, non-negative and per-``pid``-monotonic
+    timestamps, non-negative durations, balanced begin/end stacks, and
+    span↔metrics count consistency (against ``otherData.span_counts``
+    and, when given, the metrics JSONL's ``flight-recorder/spans``
+    line).
+    """
+    problems: List[str] = []
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    other = trace.get("otherData", {})
+
+    last_ts: Dict[int, float] = {}
+    stacks: Dict[tuple, List[str]] = {}
+    name_counts: Dict[str, int] = {}
+    for index, event in enumerate(events):
+        for field in ("name", "ph", "pid", "tid", "ts"):
+            if field not in event:
+                problems.append(f"event {index}: missing {field!r}")
+                break
+        else:
+            ph, ts, pid = event["ph"], event["ts"], event["pid"]
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"event {index}: bad ts {ts!r}")
+                continue
+            if ph == "M":
+                continue
+            if ts < last_ts.get(pid, 0.0):
+                problems.append(f"event {index}: ts {ts} not monotonic "
+                                f"within pid {pid}")
+            last_ts[pid] = ts
+            name_counts[event["name"]] = \
+                name_counts.get(event["name"], 0) + 1
+            if ph == "X":
+                dur = event.get("dur")
+                if not isinstance(dur, (int, float)) or dur < 0:
+                    problems.append(f"event {index}: X without valid dur")
+            elif ph == "B":
+                stacks.setdefault((pid, event["tid"]), []) \
+                    .append(event["name"])
+            elif ph == "E":
+                stack = stacks.get((pid, event["tid"]), [])
+                if not stack:
+                    problems.append(f"event {index}: E without B")
+                elif stack.pop() != event["name"]:
+                    problems.append(f"event {index}: E name mismatch")
+            elif ph not in ("i", "I", "C", "M"):
+                problems.append(f"event {index}: unknown ph {ph!r}")
+    for (pid, tid), stack in stacks.items():
+        if stack:
+            problems.append(f"unbalanced B spans on pid {pid} tid {tid}: "
+                            f"{stack}")
+
+    span_counts = other.get("span_counts")
+    if isinstance(span_counts, dict):
+        dropped = other.get("dropped_records", 0)
+        for kind, count in span_counts.items():
+            emitted = name_counts.get(kind, 0)
+            if dropped == 0 and emitted != count:
+                problems.append(f"span/metrics mismatch for {kind!r}: "
+                                f"{emitted} events vs counter {count}")
+            elif emitted > count:
+                problems.append(f"{kind!r}: more events ({emitted}) than "
+                                f"ever recorded ({count})")
+        for name in name_counts:
+            if name not in span_counts:
+                problems.append(f"event name {name!r} absent from "
+                                f"otherData.span_counts")
+
+    if metrics is not None:
+        spans_line = next((m for m in metrics
+                           if m.get("registry") == "flight-recorder"
+                           and m.get("metric") == "spans"), None)
+        if spans_line is None:
+            problems.append("metrics dump lacks flight-recorder/spans line")
+        elif isinstance(span_counts, dict) and \
+                spans_line.get("values") != span_counts:
+            problems.append("metrics flight-recorder/spans disagrees with "
+                            "trace otherData.span_counts")
+    return problems

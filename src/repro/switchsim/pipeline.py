@@ -22,6 +22,8 @@ import enum
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro.netsim import Counter
+from repro.obs.tracer import TRACE
 from repro.protocol import (
     ClearPolicy,
     ForwardTarget,
@@ -63,10 +65,31 @@ class RIPPipeline:
     """
 
     def __init__(self, registers: RegisterFile, flow_state: FlowStateTable,
-                 phys_base: int = 0):
+                 phys_base: int = 0, name: str = "pipeline"):
         self.registers = registers
         self.flow_state = flow_state
         self.phys_base = phys_base
+        self.name = name
+        # Stage occupancy and register-kernel batch sizes (kept separate
+        # from the switch's own Counter: that dict is golden-pinned).
+        self.stats = Counter()
+
+    def _observe_kernel(self, stats: Counter, select: int, op: str,
+                        now: float) -> None:
+        """Record one register-kernel batch (off the no-observe path)."""
+        pairs = select.bit_count()
+        if stats.enabled:
+            counts = stats._counts
+            try:
+                counts["kernel_ops"] += 1
+            except KeyError:
+                counts["kernel_ops"] = 1
+            try:
+                counts["kernel_pairs"] += pairs
+            except KeyError:
+                counts["kernel_pairs"] = pairs
+        if TRACE.enabled:
+            TRACE.instant("regs.kernel", now, self.name, (op, pairs))
 
     def _local(self, addr: int) -> Optional[int]:
         """Translate a global physical address, or None if not ours."""
@@ -87,33 +110,50 @@ class RIPPipeline:
         pkt.is_retransmit = retrans
 
         if pkt.is_ack:
+            self.stats.add("ack_pkts")
             return Verdict(Action.FORWARD, dst=pkt.dst,
                            retransmission=retrans)
         if pkt.is_sa:
             # Server-originated packets take the return path even when
             # overflow-marked (a sentinel-carrying clearing return).
-            return self._return_path(pkt, prog, entry, retrans)
+            return self._return_path(pkt, prog, entry, retrans, now)
         if pkt.is_of:
             # Fallback bypass: raw data straight to the server agent.
+            self.stats.add("bypass_pkts")
             return Verdict(Action.FORWARD, dst=entry.server,
                            retransmission=retrans)
         if pkt.is_cross:
             # Unmapped keys: the server executes the primitives in software.
+            self.stats.add("bypass_pkts")
             return Verdict(Action.FORWARD, dst=entry.server,
                            retransmission=retrans)
-        return self._data_path(pkt, prog, entry, retrans)
+        return self._data_path(pkt, prog, entry, retrans, now)
 
     # ------------------------------------------------------------------
     def _return_path(self, pkt: Packet, prog: RIPProgram, entry: AppEntry,
-                     retrans: bool) -> Verdict:
+                     retrans: bool, now: float = 0.0) -> Verdict:
         """Packets from the server agent: clear on the way back (§5.2.2)."""
         recirc = False
+        stats = self.stats
+        if stats.enabled:
+            counts = stats._counts
+            try:
+                counts["return_pkts"] += 1
+            except KeyError:
+                counts["return_pkts"] = 1
         if pkt.is_clr and not retrans:
             block = pkt.kv
             select = block.mapped_mask & pkt.bitmap
             if select:
                 self.registers.clear_block(block.addrs, select,
                                            -self.phys_base)
+                if stats.enabled or TRACE.enabled:
+                    pairs = select.bit_count()
+                    stats.add("clear_ops")
+                    stats.add("clear_pairs", pairs)
+                    if TRACE.enabled:
+                        TRACE.instant("regs.kernel", now, self.name,
+                                      ("clear", pairs))
             if pkt.is_cnf:
                 local = self._local(pkt.cnt_index)
                 if local is not None:
@@ -128,7 +168,7 @@ class RIPPipeline:
 
     # ------------------------------------------------------------------
     def _data_path(self, pkt: Packet, prog: RIPProgram, entry: AppEntry,
-                   retrans: bool) -> Verdict:
+                   retrans: bool, now: float = 0.0) -> Verdict:
         # Batch kernels below run once per data packet per switch — the
         # hottest switchsim code.  All per-kv work happens inside the
         # KVBlock / RegisterFile bulk operations (the only sanctioned
@@ -139,6 +179,13 @@ class RIPPipeline:
         bitmap = pkt.bitmap
         base = self.phys_base
         select = block.mapped_mask & bitmap
+        stats = self.stats
+        if stats.enabled:
+            counts = stats._counts
+            try:
+                counts["data_pkts"] += 1
+            except KeyError:
+                counts["data_pkts"] = 1
 
         # --- Stream.modify (stateless; the edge switch applies it once) --
         if prog.modify_op is not StreamOp.NOP and entry.edge:
@@ -150,6 +197,13 @@ class RIPPipeline:
             if not retrans and select:
                 regs.clear_block(block.addrs, select,
                                  pkt.shadow_offset - base)
+                if stats.enabled or TRACE.enabled:
+                    pairs = select.bit_count()
+                    stats.add("shadow_clear_ops")
+                    stats.add("shadow_clear_pairs", pairs)
+                    if TRACE.enabled:
+                        TRACE.instant("regs.kernel", now, self.name,
+                                      ("shadow_clear", pairs))
             recirc = True
 
         # --- Map.addTo + Map.get -----------------------------------------
@@ -159,14 +213,25 @@ class RIPPipeline:
         # addresses require.
         if select:
             do_add = prog.uses_add_to and not retrans
+            observe = stats.enabled or TRACE.enabled
             if do_add and prog.uses_get and pkt.linear_base is not None:
                 if regs.add_get_block(block, select, base):
                     pkt.is_of = True
+                if observe:
+                    self._observe_kernel(stats, select, "add_get", now)
             else:
-                if do_add and regs.add_block(block, select, base):
-                    pkt.is_of = True
-                if prog.uses_get and regs.get_block(block, select, base):
-                    pkt.is_of = True
+                if do_add:
+                    if regs.add_block(block, select, base):
+                        pkt.is_of = True
+                    if observe:
+                        self._observe_kernel(stats, select, "add", now)
+                if prog.uses_get:
+                    if regs.get_block(block, select, base):
+                        pkt.is_of = True
+                    if observe:
+                        self._observe_kernel(stats, select, "get", now)
+            if pkt.is_of:
+                stats.add("overflow_pkts")
 
         if not entry.edge:
             # Upstream switch in a chain: local pairs are done, the
@@ -190,7 +255,9 @@ class RIPPipeline:
             if not retrans and not counted_by_add:
                 regs.add(cnt_local, 1)
             count = regs.read_raw(cnt_local)
+            stats.add("cntfwd_checks")
             if count == spec.threshold:
+                stats.add("cntfwd_fires")
                 if spec.threshold > 1:
                     # Multi-party rounds: re-arm the counter for the next
                     # round.  test&set (threshold 1) persists until an

@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Any, Dict, Optional, Tuple
 
 from repro.netsim import Calibration, DEFAULT_CALIBRATION, Link, Node, Simulator
+from repro.obs.tracer import TRACE
 from repro.protocol import Packet
 
 from .admission import AdmissionTable, AppEntry
@@ -85,7 +86,8 @@ class NetRPCSwitch(PlainSwitch):
         self.admission = AdmissionTable()
         self.phys_base = phys_base
         self.pipeline = RIPPipeline(self.registers, self.flow_state,
-                                    phys_base=phys_base)
+                                    phys_base=phys_base,
+                                    name=f"{name}.pipeline")
         self._ecn_marked_at: Dict[int, float] = {}
         # The internal recirculation port serialises at line rate; heavy
         # recirculation (shadow clears, baseline designs) contends here.
@@ -160,6 +162,8 @@ class NetRPCSwitch(PlainSwitch):
         reads happened before the power cut.
         """
         self.stats.add("reboots")
+        if TRACE.enabled:
+            TRACE.instant("control.reboot", self.sim.now, self.name)
         self.registers.power_cycle()
         self.flow_state.clear_state()
         self.admission.clear()
@@ -187,6 +191,9 @@ class NetRPCSwitch(PlainSwitch):
         if entry is None:
             # Unregistered applications are forwarded as normal traffic.
             stats.add("unadmitted_pkts")
+            if TRACE.enabled:
+                TRACE.instant("switch.unadmitted", sim.now, self.name,
+                              (packet.gaid,))
             sim.schedule(self.cal.switch_pipeline_delay_s,
                          self._forward, packet)
             return
@@ -212,6 +219,12 @@ class NetRPCSwitch(PlainSwitch):
                 counts["inc_pkts"] += 1
             except KeyError:
                 counts["inc_pkts"] = 1
+        if TRACE.enabled:
+            now = sim.now
+            TRACE.record("switch.pipeline", now,
+                         now + self.cal.switch_pipeline_delay_s, self.name,
+                         (packet.gaid, verdict.action.value,
+                          verdict.retransmission))
         sim.schedule(self.cal.switch_pipeline_delay_s,
                      self._apply_verdict, (packet, verdict))
 
@@ -230,6 +243,10 @@ class NetRPCSwitch(PlainSwitch):
             self._recirc_busy_until = start + tx_time
             done = (start + tx_time + self.cal.switch_recirculation_delay_s
                     - self.sim.now)
+            if TRACE.enabled:
+                TRACE.record("switch.recirculate", start,
+                             self.sim.now + done, self.name,
+                             (packet.gaid,))
             self.sim.schedule(done, self._apply_verdict, (packet, verdict))
             return
 

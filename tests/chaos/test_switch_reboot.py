@@ -44,6 +44,16 @@ def _judge(tag, outcome, problems, require_reboot=True):
     elif require_reboot and result.switch_stats.get("reboots") != 1:
         problems.append(f"{tag}: expected exactly one reboot, stats="
                         f"{result.switch_stats.get('reboots')}")
+    elif require_reboot and result.audit.get("failovers") != 1:
+        problems.append(f"{tag}: expected exactly one failover in the "
+                        f"audit trail, audit={result.audit}")
+    elif require_reboot and result.audit.get("flows_resynced", 0) < 1:
+        problems.append(f"{tag}: failover resynced no flows, "
+                        f"audit={result.audit}")
+    elif require_reboot and not any(entry[0] == "failover"
+                                    for entry in result.audit_trail):
+        problems.append(f"{tag}: audit log lacks the failover entry: "
+                        f"{result.audit_trail}")
 
 
 class TestMidRoundReboot:
@@ -80,6 +90,27 @@ class TestMidRoundReboot:
         assert not result.violations
         assert result.ok
         assert result.server_stats.get("unprocessed_rx", 0) >= 1
+
+    def test_traced_reboot_span_counts_match_audit(self):
+        # The flight recorder's failover spans must agree with the
+        # controller's own audit counters (span <-> metrics consistency
+        # on the chaos path); tracing must not perturb the verdict.
+        from repro.obs import TRACE, keep_registries, start_trace
+
+        start_trace()
+        try:
+            result = run_chaos_reboot_round(seed=7, frac=0.45)
+            assert not result.violations
+            assert result.ok or result.failure
+            assert result.audit.get("failovers") == 1
+            assert TRACE.count("control.failover") == 1
+            assert TRACE.count("control.reboot") == \
+                result.switch_stats.get("reboots")
+            assert TRACE.count("inc.resync") == \
+                result.audit.get("flows_resynced")
+        finally:
+            TRACE.clear()
+            keep_registries(False)
 
 
 class TestTwoLevelTimeouts:

@@ -135,3 +135,88 @@ class TestLatencyRecorder:
 
     def test_empty_summary(self):
         assert LatencyRecorder().summary() == {"count": 0}
+
+
+class TestPercentileEdges:
+    def test_single_element_any_pct(self):
+        for pct in (0, 37.5, 50, 99, 100):
+            assert percentile([7.0], pct) == 7.0
+
+    def test_empty_sequence_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_pct_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], -0.001)
+        with pytest.raises(ValueError):
+            percentile([1.0], 100.001)
+
+    def test_rank_exactly_on_order_statistic(self):
+        # pct=25 of 5 elements -> rank 1.0 exactly: no interpolation.
+        assert percentile([10, 20, 30, 40, 50], 25) == 20
+
+    def test_interpolation_between_adjacent_elements(self):
+        # pct=10 of 2 elements -> rank 0.1: 0.9*1 + 0.1*2.
+        assert percentile([1.0, 2.0], 10) == pytest.approx(1.1)
+
+    def test_unsorted_input_is_sorted_first(self):
+        assert percentile([5, 1, 3, 2, 4], 50) == 3
+
+
+class TestTimeSeriesWindowMean:
+    def _series(self):
+        ts = TimeSeries("x")
+        for t, v in [(0.0, 10.0), (1.0, 20.0), (2.0, 30.0), (3.0, 40.0)]:
+            ts.record(t, v)
+        return ts
+
+    def test_window_is_half_open(self):
+        # [1.0, 3.0) includes t=1,2 but excludes t=3.
+        assert self._series().window_mean(1.0, 3.0) == 25.0
+
+    def test_start_boundary_included(self):
+        assert self._series().window_mean(0.0, 0.5) == 10.0
+
+    def test_empty_window_is_zero(self):
+        assert self._series().window_mean(0.25, 0.75) == 0.0
+
+    def test_out_of_order_record_rejected(self):
+        ts = self._series()
+        with pytest.raises(ValueError):
+            ts.record(2.5, 1.0)
+
+
+class TestRateMeterWindows:
+    def test_average_window_bucket_boundaries(self):
+        # bucket_s=0.01: bytes at t=0.005 land in bucket 0 ([0, 0.01)).
+        meter = RateMeter(bucket_s=0.01)
+        meter.record(0.005, 125)     # bucket 0
+        meter.record(0.015, 250)     # bucket 1
+        meter.record(0.025, 500)     # bucket 2
+        # [0.01, 0.02): bucket 1 only (bucket 0 below start, bucket 2
+        # at end is excluded by the half-open filter).
+        assert meter.average_gbps(0.01, 0.02) == \
+            pytest.approx(250 * 8 / 0.01 / 1e9)
+
+    def test_average_window_end_excludes_boundary_bucket(self):
+        meter = RateMeter(bucket_s=0.01)
+        meter.record(0.000, 100)
+        meter.record(0.010, 900)
+        # end=0.01 excludes the bucket starting exactly at 0.01.
+        assert meter.average_gbps(0.0, 0.01) == \
+            pytest.approx(100 * 8 / 0.01 / 1e9)
+
+    def test_default_span_is_first_to_last(self):
+        meter = RateMeter(bucket_s=0.01)
+        meter.record(0.0, 1000)
+        meter.record(0.5, 1000)
+        # Default span [0, 0.5): the bucket at 0.5 falls outside, so
+        # only the first 1000 bytes count over the 0.5 s span.
+        assert meter.average_gbps() == pytest.approx(1000 * 8 / 0.5 / 1e9)
+
+    def test_degenerate_window_is_zero(self):
+        meter = RateMeter()
+        meter.record(1.0, 100)
+        assert meter.average_gbps(2.0, 2.0) == 0.0
+        assert meter.average_gbps(3.0, 2.0) == 0.0

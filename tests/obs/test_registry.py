@@ -1,0 +1,145 @@
+"""MetricsRegistry unit tests: naming, enable-state, snapshot/diff."""
+
+import json
+
+import pytest
+
+from repro.netsim import Counter, LatencyRecorder, RateMeter, TimeSeries
+from repro.obs import (
+    MetricsRegistry,
+    all_registries,
+    collected_snapshots,
+    disable_all_metrics,
+    enable_all_metrics,
+    keep_registries,
+    set_default_enabled,
+)
+
+
+class TestRegistration:
+    def test_register_returns_object(self):
+        reg = MetricsRegistry("t")
+        counter = Counter()
+        assert reg.register("a", counter) is counter
+        assert "a" in reg
+        assert len(reg) == 1
+
+    def test_duplicate_names_get_suffix(self):
+        reg = MetricsRegistry("t")
+        reg.register("a", Counter())
+        reg.register("a", Counter())
+        reg.register("a", Counter())
+        assert reg.names() == ["a", "a#2", "a#3"]
+
+    def test_unknown_instrument_requires_snapshot(self):
+        reg = MetricsRegistry("t")
+        with pytest.raises(TypeError):
+            reg.register("x", object())
+        reg.register("x", object(), snapshot=lambda _: {"v": 1})
+        assert reg.snapshot() == {"x.v": 1}
+
+
+class TestEnableState:
+    def test_disable_all_reaches_every_instrument(self):
+        reg = MetricsRegistry("t")
+        a, b = reg.register("a", Counter()), reg.register("b", Counter())
+        reg.disable_all()
+        assert not a.enabled and not b.enabled
+        reg.enable_all()
+        assert a.enabled and b.enabled
+
+    def test_late_registration_inherits_state(self):
+        # The anti-desync satellite: an instrument registered after
+        # disable_all() must not stay enabled by accident.
+        reg = MetricsRegistry("t")
+        reg.disable_all()
+        late = reg.register("late", Counter())
+        assert not late.enabled
+        late.add("k")
+        assert late.as_dict() == {}
+
+    def test_default_enabled_applies_to_new_registries(self):
+        set_default_enabled(False)
+        try:
+            reg = MetricsRegistry("t")
+            counter = reg.register("a", Counter())
+            assert not reg.enabled
+            assert not counter.enabled
+        finally:
+            set_default_enabled(True)
+
+    def test_module_level_bulk_switch(self):
+        reg = MetricsRegistry("t")
+        counter = reg.register("a", Counter())
+        assert disable_all_metrics() >= 1
+        assert not counter.enabled
+        assert reg in all_registries()
+        enable_all_metrics()
+        assert counter.enabled
+
+
+class TestSnapshotDiff:
+    def _loaded(self):
+        reg = MetricsRegistry("t")
+        counter = reg.register("pkts", Counter())
+        counter.add("rx", 3)
+        lat = reg.register("lat", LatencyRecorder())
+        lat.record(0.5)
+        meter = reg.register("rate", RateMeter(bucket_s=0.01))
+        meter.record(0.0, 1000)
+        series = reg.register("ts", TimeSeries())
+        series.record(1.0, 2.0)
+        reg.register("raw", {"k": 1})
+        return reg
+
+    def test_snapshot_is_flat_and_namespaced(self):
+        snap = self._loaded().snapshot()
+        assert snap["pkts.rx"] == 3
+        assert snap["lat.count"] == 1
+        assert snap["rate.total_bytes"] == 1000
+        assert snap["ts.samples"] == 1
+        assert snap["raw.k"] == 1
+
+    def test_snapshot_nested_one_dict_per_instrument(self):
+        nested = self._loaded().snapshot_nested()
+        assert nested["pkts"] == {"rx": 3}
+        assert set(nested) == {"pkts", "lat", "rate", "ts", "raw"}
+
+    def test_diff_reports_numeric_deltas_only_for_changes(self):
+        reg = MetricsRegistry("t")
+        counter = reg.register("c", Counter())
+        counter.add("x", 1)
+        counter.add("same", 5)
+        before = reg.snapshot()
+        counter.add("x", 4)
+        diff = MetricsRegistry.diff(before, reg.snapshot())
+        assert diff == {"c.x": 4}
+
+    def test_diff_marks_added_and_removed_keys(self):
+        diff = MetricsRegistry.diff({"gone": 1, "kept": 2},
+                                    {"kept": 2, "new": 3})
+        assert diff == {"+new": 3, "-gone": 1}
+
+    def test_export_jsonl_round_trips(self, tmp_path):
+        reg = self._loaded()
+        path = tmp_path / "metrics.jsonl"
+        lines = reg.export_jsonl(path)
+        assert lines == 5
+        parsed = [json.loads(line) for line in
+                  path.read_text().splitlines()]
+        assert {p["metric"] for p in parsed} == \
+            {"pkts", "lat", "rate", "ts", "raw"}
+        assert all(p["registry"] == reg.name for p in parsed)
+
+
+class TestCollection:
+    def test_keep_registries_collects_and_releases(self):
+        keep_registries(True)
+        try:
+            reg = MetricsRegistry("kept")
+            reg.register("c", Counter()).add("x")
+            collected = dict(collected_snapshots())
+            assert reg.name in collected
+            assert collected[reg.name]["c"] == {"x": 1}
+        finally:
+            keep_registries(False)

@@ -39,12 +39,30 @@ from time import perf_counter
 
 
 def profile_single(name: str, run, kwargs: dict, args) -> None:
+    # Tracing is armed before and exported after the profiled region,
+    # so the JSON export does not drown the experiment in the profile.
+    if args.trace:
+        from repro.obs import (export_trace, keep_registries, start_trace,
+                               stop_trace)
+        start_trace()
+
     profiler = cProfile.Profile()
     start = perf_counter()
     profiler.enable()
-    run(**kwargs)
-    profiler.disable()
+    try:
+        run(**kwargs)
+    finally:
+        profiler.disable()
+        if args.trace:
+            stop_trace()
     wall = perf_counter() - start
+
+    if args.trace:
+        try:
+            trace_path, metrics_path = export_trace(args.trace)
+        finally:
+            keep_registries(False)
+        print(f"trace written to {trace_path} (metrics: {metrics_path})")
 
     stats = pstats.Stats(profiler, stream=sys.stdout)
     stats.sort_stats(args.sort).print_stats(args.top)
@@ -120,7 +138,14 @@ def main(argv=None) -> int:
                         metavar="DIR",
                         help="per-run .prof dump directory in sweep mode "
                              "(default: %(default)s)")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="record a flight-recorder trace of the "
+                             "profiled run: Perfetto JSON at PATH plus a "
+                             "metrics JSONL next to it (single-run mode)")
     args = parser.parse_args(argv)
+    if args.trace and args.sweep is not None:
+        parser.error("--trace applies to single-run mode only "
+                     "(sweep workers run in separate processes)")
 
     name = args.experiment
     if "." not in name:
