@@ -25,6 +25,7 @@ Run with:  pytest benchmarks/bench_simcore.py --benchmark-only
 
 from __future__ import annotations
 
+import heapq
 from time import perf_counter
 
 from repro.experiments.common import run_sync_aggregation
@@ -37,6 +38,9 @@ LINK_PACKETS = 50_000
 AGG_VALUES = 32_768
 PACKET_COPIES = 100_000
 KERNEL_PACKETS = 20_000
+CHURN_FLOWS = 256
+CHURN_TICKS = 400
+COHORT_EVENTS = 200_000
 
 
 def drive_raw_events(n_events: int = RAW_EVENTS,
@@ -65,6 +69,190 @@ def drive_raw_events(n_events: int = RAW_EVENTS,
     return n_events / elapsed
 
 
+# ----------------------------------------------------------------------
+# heapq reference schedulers — the A/B baselines for the tiered
+# scheduler.  Two flavours of cancellation, because the naive and the
+# tuned heap answer differ by orders of magnitude:
+#
+# * ``exact``: cancelling really removes the entry (list.remove +
+#   re-heapify) — the semantically equivalent baseline, since the tiered
+#   scheduler's ``TimerHandle.cancel`` also guarantees the callback
+#   never fires and the entry is never dispatched.  O(n) per cancel.
+# * ``tombstone``: the canonical heapq workaround (and what this repo's
+#   scheduler did before the overhaul): the entry stays in the heap and
+#   is popped + dispatched as a flag-checking no-op at its deadline.
+#   O(log n) amortized, but every cancelled timer still costs an event
+#   object, a heap pop, and a dispatch — and tombstones inflate the heap
+#   for everything else.
+
+class _HeapRef:
+    """The pre-cohort scheduler: one binary heap, ``(time, seq)`` order."""
+
+    __slots__ = ("now", "_heap", "_seq")
+
+    def __init__(self):
+        self.now = 0.0
+        self._heap = []
+        self._seq = 0
+
+    def schedule(self, delay, callback, value=None):
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq,
+                                    callback, value))
+
+    def run(self):
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            when, _seq, callback, value = pop(heap)
+            self.now = when
+            callback(value)
+
+
+class _RefTimerEvent:
+    """Old-scheme cancellable wait: a Timeout-like event object whose
+    heap entry survives cancellation as a tombstone."""
+
+    __slots__ = ("triggered", "value")
+
+    def __init__(self):
+        self.triggered = False
+        self.value = None
+
+
+def _ref_trigger(pair):
+    event, value = pair
+    if not event.triggered:
+        event.triggered = True
+        event.value = value
+
+
+def _drive_rto_churn(arm, cancel, advance, run,
+                     flows=CHURN_FLOWS, ticks=CHURN_TICKS,
+                     rto=2e-4, tick_s=1e-6):
+    """The ReliableFlow RTO shape: every tick each flow supersedes its
+    pending retransmission timer (cancel + re-arm at now+rto).  With
+    rto >> tick_s essentially every timer is cancelled before firing —
+    the regime the ISSUE calls 'overwhelmingly cancelled'.  Returns the
+    total number of scheduler entries created.
+    """
+    handles = [None] * flows
+    count = [0]
+
+    def expire(i):
+        pass
+
+    def tick(_):
+        for i in range(flows):
+            handle = handles[i]
+            if handle is not None:
+                cancel(handle)
+            handles[i] = arm(rto, expire, i)
+        count[0] += 1
+        if count[0] < ticks:
+            advance(tick_s, tick)
+
+    advance(tick_s, tick)
+    run()
+    return ticks * flows + ticks
+
+
+def drive_event_churn(flows: int = CHURN_FLOWS,
+                      ticks: int = CHURN_TICKS) -> dict:
+    """Schedule+cancel-heavy timer churn; entries/sec for the tiered
+    scheduler and both heapq references, plus the speedup ratios."""
+    sim = Simulator(seed=0)
+    start = perf_counter()
+    n = _drive_rto_churn(
+        arm=sim.call_later,
+        cancel=lambda handle: handle.cancel(),
+        advance=lambda delay, cb: sim.schedule(delay, cb, None),
+        run=sim.run, flows=flows, ticks=ticks)
+    churn_rate = n / (perf_counter() - start)
+
+    ref = _HeapRef()
+
+    def arm_tombstone(delay, callback, value):
+        event = _RefTimerEvent()
+        ref.schedule(delay, _ref_trigger, (event, value))
+        return event
+
+    start = perf_counter()
+    n = _drive_rto_churn(
+        arm=arm_tombstone,
+        cancel=lambda event: setattr(event, "triggered", True),
+        advance=lambda delay, cb: ref.schedule(delay, cb, None),
+        run=ref.run, flows=flows, ticks=ticks)
+    tombstone_rate = n / (perf_counter() - start)
+
+    # Exact removal is O(n) per cancel, so run it on a shrunken copy of
+    # the same workload and quote the per-entry rate.
+    exact = _HeapRef()
+
+    def arm_exact(delay, callback, value):
+        exact._seq += 1
+        entry = (exact.now + delay, exact._seq, callback, value)
+        heapq.heappush(exact._heap, entry)
+        return entry
+
+    def cancel_exact(entry):
+        exact._heap.remove(entry)
+        heapq.heapify(exact._heap)
+
+    start = perf_counter()
+    n = _drive_rto_churn(
+        arm=arm_exact, cancel=cancel_exact,
+        advance=lambda delay, cb: exact.schedule(delay, cb, None),
+        run=exact.run, flows=flows, ticks=max(8, ticks // 50))
+    exact_rate = n / (perf_counter() - start)
+
+    return {
+        "event_churn_per_sec": churn_rate,
+        "event_churn_heapq_exact_per_sec": exact_rate,
+        "event_churn_heapq_tombstone_per_sec": tombstone_rate,
+        "event_churn_vs_heapq_x": churn_rate / exact_rate,
+        "event_churn_vs_tombstone_x": churn_rate / tombstone_rate,
+    }
+
+
+def drive_cohort_drain(n_events: int = COHORT_EVENTS,
+                       population: int = 4096) -> dict:
+    """Lockstep tickers forming ``population``-sized same-timestamp
+    cohorts; events/sec for the cohort drain vs the heapq reference.
+
+    The cohort loop pays one heap operation and one clock assignment
+    per *cohort*; the reference pays a sift-down per *event* with the
+    heap pinned at ``population`` entries.
+    """
+
+    def drive(sched):
+        remaining = [n_events]
+
+        def tick(_value):
+            left = remaining[0] - 1
+            remaining[0] = left
+            if left >= population:
+                sched.schedule(1e-6, tick, None)
+
+        for _ in range(population):
+            sched.schedule(1e-6, tick, None)
+        start = perf_counter()
+        sched.run()
+        elapsed = perf_counter() - start
+        assert remaining[0] <= 0
+        return n_events / elapsed
+
+    cohort_rate = drive(Simulator(seed=0))
+    ref_rate = drive(_HeapRef())
+    return {
+        "cohort_drain_events_per_sec": cohort_rate,
+        "cohort_drain_heapq_per_sec": ref_rate,
+        "cohort_drain_vs_heapq_x": cohort_rate / ref_rate,
+    }
+
+
 class _BenchPacket:
     """Minimal transmittable object (mirrors the test-suite FakePacket)."""
 
@@ -74,12 +262,16 @@ class _BenchPacket:
         self.size_bytes = size_bytes
 
 
-def drive_link(n_packets: int = LINK_PACKETS) -> float:
+def drive_link(n_packets: int = LINK_PACKETS,
+               chain_batch_min: int = None) -> float:
     """Blast packets through one lossless link; delivered packets/sec.
 
-    Packets are offered back-to-back so all but the first traverse the
-    queued branch of the fused path — the worst case (two events per
-    packet) rather than the idle-transmitter best case (one).
+    Packets are offered back-to-back so the backlog goes deep: with the
+    default ``chain_batch_min`` the link switches to the batched chain
+    walk (the production fast path for this shape).  Pass a
+    ``chain_batch_min`` larger than ``n_packets`` to pin the per-event
+    path — two scheduler events per packet — which is what the trace
+    overhead gate measures guards against.
     """
     sim = Simulator(seed=0)
     src = Node(sim, "src")
@@ -90,9 +282,12 @@ def drive_link(n_packets: int = LINK_PACKETS) -> float:
         delivered[0] += 1
 
     dst.set_handler(on_packet)
+    link_kwargs = {}
+    if chain_batch_min is not None:
+        link_kwargs["chain_batch_min"] = chain_batch_min
     link = Link(sim, src, dst, bandwidth_bps=100e9, delay_s=1e-6,
                 queue_capacity_pkts=n_packets + 1,
-                ecn_threshold_pkts=n_packets + 1)
+                ecn_threshold_pkts=n_packets + 1, **link_kwargs)
     src.attach_egress(link)
     packets = [_BenchPacket() for _ in range(n_packets)]
     start = perf_counter()
@@ -165,6 +360,22 @@ def test_raw_event_rate(benchmark):
     rate = benchmark.pedantic(drive_raw_events, rounds=3, iterations=1)
     benchmark.extra_info["raw_events_per_sec"] = rate
     assert rate > 50_000
+
+
+def test_event_churn_rate(benchmark):
+    result = benchmark.pedantic(drive_event_churn, rounds=3, iterations=1)
+    benchmark.extra_info.update(result)
+    # The tiered scheduler's O(1) lazy cancellation must beat exact
+    # heapq cancellation by a wide margin and the tombstone workaround
+    # outright.
+    assert result["event_churn_vs_heapq_x"] > 5.0
+    assert result["event_churn_vs_tombstone_x"] > 1.0
+
+
+def test_cohort_drain_rate(benchmark):
+    result = benchmark.pedantic(drive_cohort_drain, rounds=3, iterations=1)
+    benchmark.extra_info.update(result)
+    assert result["cohort_drain_vs_heapq_x"] > 1.0
 
 
 def test_link_forwarding_rate(benchmark):

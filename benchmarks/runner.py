@@ -36,7 +36,8 @@ from time import perf_counter
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-from bench_simcore import (drive_aggregation, drive_kv_kernels, drive_link,
+from bench_simcore import (drive_aggregation, drive_cohort_drain,
+                           drive_event_churn, drive_kv_kernels, drive_link,
                            drive_packet_copy, drive_raw_events)
 
 from repro.experiments import exp_micro
@@ -53,6 +54,14 @@ BASELINE = {
     "agg_values_per_sec": 153_000.0,
 }
 
+# Perf gate: the raw dispatch rate recorded at the seed commit, before
+# the tiered-scheduler overhaul.  A full-scale run below this floor is
+# a hard regression and fails the runner.  Fast mode derates the floor
+# 2x: shrunken drivers leave fixed costs unamortized, and CI runners
+# are slower than the machine the seed value was recorded on.
+SEED_RAW_EVENTS_PER_SEC = 1_240_000.0
+FAST_GATE_DERATE = 0.5
+
 HISTORY_PATH = "BENCH_simcore_history.jsonl"
 SWEEP_FN = "repro.experiments.common.run_sync_aggregation"
 BLOCKING_FN = "repro.sweep.diagnostics.blocking_run"
@@ -67,6 +76,23 @@ def measure(fast: bool = False) -> dict:
     rate = max(drive_raw_events(200_000 // scale) for _ in range(rounds))
     results["raw_events_per_sec"] = rate
     print(f"raw event dispatch : {rate:12,.0f} events/s")
+
+    churn = max((drive_event_churn(ticks=400 // scale)
+                 for _ in range(rounds)),
+                key=lambda r: r["event_churn_per_sec"])
+    results.update(churn)
+    print(f"event churn        : "
+          f"{churn['event_churn_per_sec']:12,.0f} entries/s  "
+          f"({churn['event_churn_vs_heapq_x']:.1f}x exact-heapq, "
+          f"{churn['event_churn_vs_tombstone_x']:.1f}x tombstone)")
+
+    cohort = max((drive_cohort_drain(200_000 // scale)
+                  for _ in range(rounds)),
+                 key=lambda r: r["cohort_drain_events_per_sec"])
+    results.update(cohort)
+    print(f"cohort drain       : "
+          f"{cohort['cohort_drain_events_per_sec']:12,.0f} events/s  "
+          f"({cohort['cohort_drain_vs_heapq_x']:.1f}x heapq)")
 
     rate = max(drive_link(50_000 // scale) for _ in range(rounds))
     results["link_pps"] = rate
@@ -201,6 +227,9 @@ def main(argv=None) -> int:
                              "for the speedup A/B)")
     parser.add_argument("--no-sweep", action="store_true",
                         help="skip the sweep-engine speedup section")
+    parser.add_argument("--no-gate", action="store_true",
+                        help="measure and record but never fail on the "
+                             "raw_events_per_sec seed floor")
     parser.add_argument("--trace", default=None, metavar="PATH",
                         help="after the timed section, run one traced "
                              "exp_micro(fast=True): Perfetto JSON at PATH "
@@ -282,6 +311,23 @@ def main(argv=None) -> int:
     }
     append_history(Path(args.history), history_record)
     print(f"appended history to {args.history}")
+
+    # Perf gate: raw event dispatch must never fall back below the
+    # seed-commit rate the scheduler overhaul started from.
+    floor = SEED_RAW_EVENTS_PER_SEC * (FAST_GATE_DERATE if args.fast
+                                       else 1.0)
+    measured = results["raw_events_per_sec"]
+    if measured < floor:
+        print(f"PERF GATE FAILED: raw_events_per_sec {measured:,.0f} "
+              f"< floor {floor:,.0f} "
+              f"(seed {SEED_RAW_EVENTS_PER_SEC:,.0f}"
+              f"{' with --fast derate' if args.fast else ''})")
+        if not args.no_gate:
+            return 1
+        print("--no-gate: continuing despite the regression")
+    else:
+        print(f"perf gate ok: raw_events_per_sec {measured:,.0f} >= "
+              f"floor {floor:,.0f}")
     return 0
 
 

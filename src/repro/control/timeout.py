@@ -32,12 +32,23 @@ class TimeoutMonitor:
         self.events: list = []                 # (time, level, app_name)
         self._first_fired_at: Dict[str, float] = {}
         self._expired: set = set()
-        self._process = sim.process(self._run(), name="timeout-monitor")
+        # The poll loop is a repeating cancellable timer, not a
+        # generator process: one scheduler entry per poll instead of a
+        # Timeout event + process resume pair, and stop() is an O(1)
+        # lazy cancellation rather than an interrupt.
+        self._timer = sim.call_later(cal.controller_poll_interval_s,
+                                     self._tick, None)
 
-    def _run(self):
-        while True:
-            yield self.sim.timeout(self.cal.controller_poll_interval_s)
-            self._poll_once()
+    def _tick(self, _unused) -> None:
+        self._poll_once()
+        self._timer = self.sim.call_later(
+            self.cal.controller_poll_interval_s, self._tick, None)
+
+    def stop(self) -> None:
+        """Cancel the poll loop; the monitor never fires again."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
 
     def _poll_once(self) -> None:
         now = self.sim.now

@@ -84,6 +84,7 @@ class ReliableFlow:
         self._next_seq = 0
         self._send_base = 0              # lowest unacknowledged seq
         self._timer_at = _INF            # earliest scheduled RTO wakeup
+        self._timer_handle = None        # TimerHandle for that wakeup
         self._queue: Deque[Packet] = deque()
         self._pending: Dict[int, _PendingEntry] = {}
         self._acked: set = set()
@@ -153,9 +154,12 @@ class ReliableFlow:
         self._arm_timer(now + rto)
 
     # ------------------------------------------------------------------
-    # RTO bookkeeping runs on one lazy timer per flow instead of one
-    # scheduled event per transmission: the flow keeps a single wakeup at
-    # the earliest pending deadline.  ACKs never touch the timer; a
+    # RTO bookkeeping runs on one cancellable timer per flow instead of
+    # one scheduled event per transmission: the flow keeps a single
+    # wakeup at the earliest pending deadline.  Arming an earlier
+    # deadline cancels the old wakeup in place (O(1) lazy cancellation —
+    # the superseded entry is skipped by the dispatch loop, never popped
+    # or dispatched as a tombstone).  ACKs never touch the timer; a
     # wakeup that finds nothing expired (entries acked or deadlines moved
     # by backoff) simply re-arms at the new minimum.  Expired entries are
     # processed in seq (insertion) order, which is exactly the order the
@@ -163,12 +167,14 @@ class ReliableFlow:
     def _arm_timer(self, deadline: float) -> None:
         if deadline < self._timer_at:
             self._timer_at = deadline
-            self.sim.schedule_at(deadline, self._on_timer, deadline)
+            if self._timer_handle is not None:
+                self._timer_handle.cancel()
+            self._timer_handle = self.sim.call_at(
+                deadline, self._on_timer, deadline)
 
     def _on_timer(self, when: float) -> None:
-        if when != self._timer_at:
-            return  # superseded by an earlier wakeup
         self._timer_at = _INF
+        self._timer_handle = None
         now = self.sim.now
         pending = self._pending
         expired = [seq for seq, e in pending.items()

@@ -113,16 +113,39 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that triggers after ``delay`` simulated seconds."""
+    """An event that triggers after ``delay`` simulated seconds.
 
-    __slots__ = ("delay",)
+    Backed by a cancellable scheduler timer: :meth:`cancel` is O(1)
+    lazy cancellation (the schedule entry is blanked in place, never
+    popped or dispatched as a tombstone), so timeout-race patterns —
+    retransmission timers, watchdogs racing an ack — cost nothing at
+    dispatch time for the losing branch.
+    """
+
+    __slots__ = ("delay", "_handle")
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"timeout delay must be >= 0, got {delay}")
         super().__init__(sim)
         self.delay = delay
-        sim.schedule_event(delay, self, value)
+        self._handle = sim.call_later(delay, self._fire, value)
+
+    def _fire(self, value: Any) -> None:
+        if not self._triggered:
+            self.succeed(value)
+
+    def cancel(self) -> bool:
+        """Prevent the timeout from firing; True if this call did it.
+
+        A no-op (returning ``False``) once the timeout has triggered.
+        Waiting processes are *not* resumed — a cancelled timeout simply
+        never fires, so only cancel timeouts nothing is left waiting on
+        (e.g. the losing side of an :class:`AnyOf` race).
+        """
+        if self._triggered:
+            return False
+        return self._handle.cancel()
 
 
 class _Condition(Event):

@@ -114,6 +114,19 @@ class Link:
     loss model installed fall back to the two-event path because the
     loss decision must be drawn from the simulator RNG at serialization
     end.
+
+    **Fused event chains** (DESIGN.md §4.7): once the backlog exceeds
+    ``chain_batch_min`` packets, the whole serialize→propagate→deliver
+    chain of every queued packet is computed analytically in one pass —
+    one delivery callback per packet, zero intermediate events.  Queue
+    occupancy seen by later ``send()`` calls stays exact: the drained
+    packets' serialization-start times go into a *virtual occupancy*
+    deque, and a packet counts as queued until its serialization start
+    passes.  The batch path turns itself off automatically whenever the
+    intermediate events carry meaning: links with a loss model or a
+    ``faults.py`` injector never take it (they are not fused at all),
+    and an armed tracer disables it so every serialize/propagate span
+    boundary is emitted at its true instant.
     """
 
     def __init__(self, sim: Simulator, src: Any, dst: Any,
@@ -121,7 +134,8 @@ class Link:
                  queue_capacity_pkts: int = 512,
                  ecn_threshold_pkts: Optional[int] = None,
                  loss: Optional[LossModel] = None,
-                 name: str = ""):
+                 name: str = "",
+                 chain_batch_min: int = 2048):
         if bandwidth_bps <= 0:
             raise ValueError("bandwidth must be positive")
         if delay_s < 0:
@@ -137,10 +151,18 @@ class Link:
                                    else max(1, queue_capacity_pkts // 8))
         self.name = name or f"{getattr(src, 'name', src)}->" \
                             f"{getattr(dst, 'name', dst)}"
+        self.chain_batch_min = chain_batch_min
         self._queue: Deque[Any] = deque()
         self._busy = False          # legacy (lossy) path state
         self._free_at = 0.0         # fused path: transmitter busy until
         self._pop_pending = False   # fused path: _start_next scheduled
+        # Batch-fused packets leave _queue early; their serialization
+        # start times wait here so occupancy checks stay exact.
+        self._virtual_starts: Deque[float] = deque()
+        # Precomputed (delivery_time, packet) chain for batch-fused
+        # packets; only the head is ever in the scheduler.
+        self._batch: Deque[Tuple[float, Any]] = deque()
+        self._batch_active = False
         self.stats = Counter()
         self.loss = loss or NoLoss()
 
@@ -159,6 +181,12 @@ class Link:
 
     @property
     def queue_len(self) -> int:
+        starts = self._virtual_starts
+        if starts:
+            now = self.sim.now
+            while starts and starts[0] <= now:
+                starts.popleft()
+            return len(self._queue) + len(starts)
         return len(self._queue)
 
     def send(self, packet: Any) -> bool:
@@ -175,6 +203,15 @@ class Link:
                 counts["offered_pkts"] = 1
         queue = self._queue
         qlen = len(queue)
+        starts = self._virtual_starts
+        if starts:
+            # Batch-fused packets count as queued until their
+            # serialization start passes, so drop-tail and ECN see the
+            # same occupancy the per-packet model would.
+            now = self.sim.now
+            while starts and starts[0] <= now:
+                starts.popleft()
+            qlen += len(starts)
         if qlen >= self.queue_capacity_pkts:
             stats.add("queue_drops")
             if TRACE.enabled:
@@ -235,9 +272,55 @@ class Link:
             TRACE.record("link.propagate", free, free + self.delay_s,
                          self.name)
         if queue:
-            sim.schedule_at(free, self._start_next, None)
+            if len(queue) >= self.chain_batch_min and not TRACE.enabled:
+                self._drain_batch(free)
+            else:
+                sim.schedule_at(free, self._start_next, None)
         else:
             self._pop_pending = False
+
+    def _drain_batch(self, free: float) -> None:
+        # Deep-backlog chain fusion: the transmitter is committed to
+        # serializing the entire backlog back-to-back, so every queued
+        # packet's serialize→propagate→deliver chain is determined right
+        # now.  Precompute the delivery timestamps (bit-identical to the
+        # per-packet path — same accumulation expression), park the
+        # serialization-start times in the virtual-occupancy deque, and
+        # walk the deliveries as a *chain*: only the head delivery is
+        # ever in the scheduler, each delivery scheduling the next.  One
+        # event per packet instead of two, and the scheduler's pending
+        # set stays O(1) deep instead of O(backlog).
+        queue = self._queue
+        starts = self._virtual_starts
+        batch = self._batch
+        bandwidth = self.bandwidth_bps
+        delay = self.delay_s
+        batched = len(queue)
+        while queue:
+            packet = queue.popleft()
+            starts.append(free)
+            size = getattr(packet, "_size", None) or packet.size_bytes
+            free = free + (size + ETHERNET_OVERHEAD_BYTES) * 8.0 / bandwidth
+            batch.append((free + delay, packet))
+        self._free_at = free
+        self._pop_pending = False
+        if not self._batch_active:
+            self._batch_active = True
+            when, head = batch.popleft()
+            self.sim.schedule_at(when, self._deliver_batched, head)
+        stats = self.stats
+        if stats.enabled:
+            stats.add("chain_batches")
+            stats.add("chain_fused_pkts", batched)
+
+    def _deliver_batched(self, packet: Any) -> None:
+        self._deliver_fused(packet)
+        batch = self._batch
+        if batch:
+            when, nxt = batch.popleft()
+            self.sim.schedule_at(when, self._deliver_batched, nxt)
+        else:
+            self._batch_active = False
 
     def _deliver_fused(self, packet: Any) -> None:
         stats = self.stats

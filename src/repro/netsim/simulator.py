@@ -1,10 +1,39 @@
 """The discrete-event simulator core.
 
-:class:`Simulator` owns the clock and the pending-event heap.
+:class:`Simulator` owns the clock and the pending-event schedule.
 :class:`Process` wraps a generator so that ``yield event`` suspends the
 process until the event triggers.  This gives application code a
 blocking, thread-like style while the whole system remains
 deterministic and single-threaded.
+
+Scheduler structure (DESIGN.md §4.7)
+------------------------------------
+Events are not kept in one binary heap.  The schedule is *tiered*:
+
+* a **cohort table** maps each pending timestamp to the list of events
+  scheduled at exactly that instant, in scheduling order.  Scheduling
+  into an existing cohort is a dict hit plus a list append — no heap
+  comparisons — and the dispatch loop drains a whole same-timestamp
+  cohort per iteration;
+* a **spill heap** of *distinct* timestamps orders the cohorts.  Its
+  push/pop traffic scales with the number of unique pending instants,
+  not with the event count, so the classic NetRPC pattern — hundreds of
+  link/process events landing on one computed timestamp — costs one
+  float comparison per cohort instead of ``O(log n)`` tuple comparisons
+  per event;
+* **cancellable timers** (:meth:`Simulator.call_later` /
+  :meth:`Simulator.call_at`) return a :class:`TimerHandle` whose
+  ``cancel()`` is O(1) and lazy: the cohort entry is blanked in place
+  and skipped by the dispatch loop, never popped, re-sifted, or
+  dispatched as a tombstone callback.
+
+The ordering contract is unchanged from the single-heap model: events
+run in ``(time, seq)`` order, where ``seq`` is the monotonically
+increasing scheduling sequence number.  Within a cohort the append
+order *is* the seq order, so no per-event comparison is needed to
+preserve it.  Cancelled entries still advance the clock to their
+timestamp when reached (exactly as a tombstone dispatch used to), so a
+run that drains the schedule ends at the same ``now`` either way.
 
 Example
 -------
@@ -25,14 +54,16 @@ from __future__ import annotations
 import heapq
 import random
 from time import perf_counter
-from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+from typing import (Any, Callable, Dict, Generator, Iterable, List, Optional,
+                    Tuple)
 
 from repro.obs.tracer import TRACE
 
 from .events import AllOf, AnyOf, Event, EventFailed, Interrupt, Timeout
 
-__all__ = ["Simulator", "Process", "SimulationError", "WallClockExceeded",
-           "set_global_wall_deadline", "global_wall_deadline"]
+__all__ = ["Simulator", "Process", "TimerHandle", "SimulationError",
+           "WallClockExceeded", "set_global_wall_deadline",
+           "global_wall_deadline", "track_simulators"]
 
 _heappush = heapq.heappush
 _heappop = heapq.heappop
@@ -47,6 +78,12 @@ _WALL_CHECK_EVERY = 2048
 # simulator built while it is set inherits it, so the guard reaches
 # simulators created arbitrarily deep inside experiment code.
 _GLOBAL_WALL_DEADLINE: Optional[float] = None
+
+# Optional construction hook: when a list is installed here, every new
+# Simulator appends itself.  tools/profile_experiment.py uses this to
+# reach the simulators an experiment builds internally and report their
+# scheduler statistics next to the cProfile table.
+_SIM_SINK: Optional[list] = None
 
 
 class SimulationError(RuntimeError):
@@ -71,6 +108,58 @@ def set_global_wall_deadline(deadline: Optional[float]) -> None:
 
 def global_wall_deadline() -> Optional[float]:
     return _GLOBAL_WALL_DEADLINE
+
+
+def track_simulators(sink: Optional[list]) -> None:
+    """Install (or clear, with ``None``) a list that collects every
+    :class:`Simulator` constructed afterwards.
+
+    Diagnostic-only: lets tooling reach simulators built deep inside
+    experiment code to read :meth:`Simulator.scheduler_stats` after a
+    run.  The sink holds strong references; callers clear it promptly.
+    """
+    global _SIM_SINK
+    _SIM_SINK = sink
+
+
+class TimerHandle(list):
+    """A cancellable hold on one scheduled callback.
+
+    Returned by :meth:`Simulator.call_later` / :meth:`Simulator.call_at`.
+    The handle *is* the schedule entry — a two-element
+    ``[callback, value]`` list the dispatch loop unpacks like any other —
+    so arming a timer costs a single allocation.  :meth:`cancel` is O(1)
+    and *lazy*: the callback slot is blanked in place and the dispatch
+    loop skips the entry when its timestamp is reached — no heap
+    surgery, no tombstone callback dispatch.
+    """
+
+    __slots__ = ("when", "_sim")
+
+    def cancel(self) -> bool:
+        """Prevent the callback from running; True if this call did it.
+
+        Returns ``False`` once the timer's timestamp has passed (it
+        already fired or was already cancelled).  Cancelling *at* the
+        timer's exact timestamp, from a later entry of the same cohort,
+        blanks the entry after the callback ran — harmless, but the
+        caller is expected to know its own timer fired (as
+        ``Timeout.cancel`` does via its triggered flag).
+        """
+        if self[0] is None or self.when < self._sim.now:
+            return False
+        self[0] = None
+        self[1] = None           # drop the value reference eagerly
+        self._sim._timers_cancelled += 1
+        return True
+
+    @property
+    def cancelled(self) -> bool:
+        return self[0] is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self[0] is None else f"at {self.when!r}"
+        return f"<TimerHandle {state}>"
 
 
 class Process(Event):
@@ -159,18 +248,40 @@ class Process(Event):
 class Simulator:
     """Deterministic discrete-event simulator with a seeded RNG.
 
-    Time is a float in **seconds**.  Ties in the event heap break on a
-    monotonically increasing sequence number, so same-time events run in
-    scheduling order.
+    Time is a float in **seconds**.  Ties break on a monotonically
+    increasing sequence number, so same-time events run in scheduling
+    order; within a cohort that order is the append order, so the
+    dispatch loop never compares sequence numbers at all.
     """
 
     def __init__(self, seed: int = 0):
         self.now: float = 0.0
-        self._heap: List[Tuple[float, int, Callable, Any]] = []
+        # Tier 1: cohort table — pending timestamp -> entries at exactly
+        # that instant, in scheduling (= seq) order.  Entries are
+        # (callback, value) tuples, or [callback, value] lists for
+        # cancellable timers (cancel blanks the callback slot in place).
+        self._cohorts: Dict[float, list] = {}
+        # Tier 2: spill heap of *distinct* pending timestamps.
+        self._times: List[float] = []
+        # The cohort currently being drained (its time == self.now) and
+        # the index of the next undispatched entry.  Shared by run(),
+        # run_until(), and step() so they can interleave mid-cohort.
+        self._ready: list = []
+        self._ready_i = 0
         self._sequence = 0
         self.rng = random.Random(seed)
         self._finished = False
         self._wall_deadline = _GLOBAL_WALL_DEADLINE
+        self._wall_countdown = _WALL_CHECK_EVERY
+        # Scheduler statistics (amortized: touched per cohort or per
+        # timer, never per plain schedule into an existing cohort).
+        self._cohorts_created = 0
+        self._cohorts_drained = 0
+        self._timers_created = 0
+        self._timers_cancelled = 0
+        self._peak_spill = 0
+        if _SIM_SINK is not None:
+            _SIM_SINK.append(self)
         if TRACE.enabled:
             # Each simulator is its own trace epoch, so sequential runs
             # in one process never interleave on the exported timeline.
@@ -180,12 +291,13 @@ class Simulator:
         """Cancel this simulator's run loops past an absolute
         :func:`time.perf_counter` timestamp (``None`` disables).
 
-        The guard makes a runaway run *cancellable*: :meth:`run` and
-        :meth:`run_until` raise :class:`WallClockExceeded` once the
-        deadline passes, checked every ``_WALL_CHECK_EVERY`` events so
-        the guarded loop stays within noise of the unguarded one.  It
-        never alters event order or timestamps, so a run that finishes
-        under its deadline is bit-identical to an unguarded run.
+        The guard makes a runaway run *cancellable*: :meth:`run`,
+        :meth:`run_until`, and :meth:`step` raise
+        :class:`WallClockExceeded` once the deadline passes, checked
+        every ``_WALL_CHECK_EVERY`` events so the guarded loop stays
+        within noise of the unguarded one.  It never alters event order
+        or timestamps, so a run that finishes under its deadline is
+        bit-identical to an unguarded run.
         """
         self._wall_deadline = deadline
 
@@ -203,8 +315,18 @@ class Simulator:
         """Run ``callback(value)`` after ``delay`` simulated seconds."""
         if delay < 0:
             raise ValueError(f"delay must be >= 0, got {delay}")
-        self._sequence = seq = self._sequence + 1
-        _heappush(self._heap, (self.now + delay, seq, callback, value))
+        self._sequence += 1
+        when = self.now + delay
+        cohort = self._cohorts.get(when)
+        if cohort is None:
+            self._cohorts[when] = [(callback, value)]
+            times = self._times
+            _heappush(times, when)
+            self._cohorts_created += 1
+            if len(times) > self._peak_spill:
+                self._peak_spill = len(times)
+        else:
+            cohort.append((callback, value))
 
     def schedule_at(self, when: float, callback: Callable[[Any], None],
                     value: Any = None) -> None:
@@ -218,8 +340,68 @@ class Simulator:
         if when < self.now:
             raise ValueError(
                 f"cannot schedule at {when}; clock already at {self.now}")
-        self._sequence = seq = self._sequence + 1
-        _heappush(self._heap, (when, seq, callback, value))
+        self._sequence += 1
+        cohort = self._cohorts.get(when)
+        if cohort is None:
+            self._cohorts[when] = [(callback, value)]
+            times = self._times
+            _heappush(times, when)
+            self._cohorts_created += 1
+            if len(times) > self._peak_spill:
+                self._peak_spill = len(times)
+        else:
+            cohort.append((callback, value))
+
+    def call_later(self, delay: float, callback: Callable[[Any], None],
+                   value: Any = None) -> TimerHandle:
+        """Like :meth:`schedule`, returning a cancellable handle.
+
+        The timer occupies the same cohort slot a plain event would —
+        same sequence number, same tie-breaking — so arming it is
+        observably identical to :meth:`schedule` until ``cancel()``.
+        """
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        when = self.now + delay
+        self._sequence += 1
+        self._timers_created += 1
+        handle = TimerHandle((callback, value))
+        handle.when = when
+        handle._sim = self
+        cohort = self._cohorts.get(when)
+        if cohort is None:
+            self._cohorts[when] = [handle]
+            times = self._times
+            _heappush(times, when)
+            self._cohorts_created += 1
+            if len(times) > self._peak_spill:
+                self._peak_spill = len(times)
+        else:
+            cohort.append(handle)
+        return handle
+
+    def call_at(self, when: float, callback: Callable[[Any], None],
+                value: Any = None) -> TimerHandle:
+        """Like :meth:`schedule_at`, returning a cancellable handle."""
+        if when < self.now:
+            raise ValueError(
+                f"cannot schedule at {when}; clock already at {self.now}")
+        self._sequence += 1
+        self._timers_created += 1
+        handle = TimerHandle((callback, value))
+        handle.when = when
+        handle._sim = self
+        cohort = self._cohorts.get(when)
+        if cohort is None:
+            self._cohorts[when] = [handle]
+            times = self._times
+            _heappush(times, when)
+            self._cohorts_created += 1
+            if len(times) > self._peak_spill:
+                self._peak_spill = len(times)
+        else:
+            cohort.append(handle)
+        return handle
 
     def schedule_event(self, delay: float, event: Event, value: Any = None
                        ) -> None:
@@ -254,19 +436,52 @@ class Simulator:
     # execution
     # ------------------------------------------------------------------
     def step(self) -> None:
-        """Execute the next pending callback, advancing the clock."""
-        when, _seq, callback, value = _heappop(self._heap)
-        if when < self.now:  # pragma: no cover - defensive
-            raise SimulationError("event scheduled in the past")
-        self.now = when
-        callback(value)
+        """Execute the next pending callback, advancing the clock.
+
+        Shares the dispatch state with :meth:`run` / :meth:`run_until`
+        (a stopped run can be continued one event at a time and vice
+        versa), honours the wall-clock deadline, and skips lazily
+        cancelled timers — one *live* callback runs per call.  Raises
+        :class:`IndexError` when nothing is pending.
+        """
+        if self._wall_deadline is not None:
+            self._wall_countdown -= 1
+            if self._wall_countdown <= 0:
+                self._wall_countdown = _WALL_CHECK_EVERY
+                self._check_wall_deadline()
+        ready = self._ready
+        i = self._ready_i
+        try:
+            while True:
+                if i < len(ready):
+                    callback, value = ready[i]
+                    i += 1
+                    if callback is None:
+                        continue             # lazily cancelled timer
+                    callback(value)
+                    return
+                when = _heappop(self._times)   # IndexError when empty
+                self.now = when
+                ready = self._cohorts.pop(when)
+                i = 0
+                self._cohorts_drained += 1
+        finally:
+            self._ready = ready
+            self._ready_i = i
 
     def peek(self) -> float:
-        """Time of the next pending event, or ``inf`` if none."""
-        return self._heap[0][0] if self._heap else float("inf")
+        """Time of the next pending event, or ``inf`` if none.
+
+        A lazily cancelled timer still counts until its timestamp is
+        reached (it advances the clock like the tombstone dispatch it
+        replaces), so ``peek`` may report a cancelled entry's time.
+        """
+        if self._ready_i < len(self._ready):
+            return self.now
+        return self._times[0] if self._times else float("inf")
 
     def run(self, until: Optional[float] = None) -> None:
-        """Run until the heap drains, or until the clock reaches ``until``.
+        """Run until the schedule drains, or the clock reaches ``until``.
 
         When ``until`` is given the clock is advanced to exactly ``until``
         even if no event falls on it, so back-to-back ``run`` calls see a
@@ -275,61 +490,142 @@ class Simulator:
         if until is not None and until < self.now:
             raise SimulationError(
                 f"cannot run until {until}; clock already at {self.now}")
-        # The dispatch loop is inlined (no self.step() call) — it executes
-        # once per event and dominates every experiment's wall time.  The
-        # wall-deadline guard gets its own copy of the loop so the common
-        # (unguarded) path pays nothing for it.
-        heap = self._heap
+        # The dispatch loop drains one same-timestamp cohort per outer
+        # iteration: one heap pop and one clock assignment amortize over
+        # every event in the cohort, and the inner loop is index/unpack/
+        # call with no comparisons.  The wall-deadline guard gets its own
+        # copy of the loop so the common (unguarded) path pays nothing.
+        cohorts = self._cohorts
+        times = self._times
         pop = _heappop
-        if self._wall_deadline is None:
-            while heap:
-                if until is not None and heap[0][0] > until:
-                    break
-                when, _seq, callback, value = pop(heap)
-                self.now = when
-                callback(value)
-        else:
-            countdown = _WALL_CHECK_EVERY
-            while heap:
-                if until is not None and heap[0][0] > until:
-                    break
-                when, _seq, callback, value = pop(heap)
-                self.now = when
-                callback(value)
-                countdown -= 1
-                if countdown == 0:
-                    countdown = _WALL_CHECK_EVERY
-                    self._check_wall_deadline()
+        ready = self._ready
+        i = self._ready_i
+        try:
+            if self._wall_deadline is None:
+                while True:
+                    n = len(ready)
+                    while i < n:
+                        callback, value = ready[i]
+                        i += 1
+                        if callback is not None:
+                            callback(value)
+                    if not times:
+                        break
+                    when = times[0]
+                    if until is not None and when > until:
+                        break
+                    pop(times)
+                    self.now = when
+                    ready = cohorts.pop(when)
+                    i = 0
+                    self._cohorts_drained += 1
+            else:
+                countdown = self._wall_countdown
+                while True:
+                    n = len(ready)
+                    while i < n:
+                        callback, value = ready[i]
+                        i += 1
+                        if callback is not None:
+                            callback(value)
+                        countdown -= 1
+                        if countdown == 0:
+                            countdown = _WALL_CHECK_EVERY
+                            self._wall_countdown = countdown
+                            self._check_wall_deadline()
+                    if not times:
+                        break
+                    when = times[0]
+                    if until is not None and when > until:
+                        break
+                    pop(times)
+                    self.now = when
+                    ready = cohorts.pop(when)
+                    i = 0
+                    self._cohorts_drained += 1
+                self._wall_countdown = countdown
+        finally:
+            self._ready = ready
+            self._ready_i = i
         if until is not None:
             self.now = max(self.now, until)
 
     def run_until(self, event: Event, limit: Optional[float] = None) -> Any:
         """Run until ``event`` triggers; returns its value.
 
-        Raises :class:`SimulationError` if the heap drains (or ``limit`` is
-        hit) before the event triggers, and :class:`EventFailed` if the
-        event fails.
+        Stops *immediately* when the event triggers — same-timestamp
+        events scheduled after it stay pending, exactly as with the
+        single-heap dispatch loop.  Raises :class:`SimulationError` if
+        the schedule drains (or ``limit`` is hit) before the event
+        triggers, and :class:`EventFailed` if the event fails.
         """
-        heap = self._heap
+        cohorts = self._cohorts
+        times = self._times
         pop = _heappop
         deadline = self._wall_deadline
-        countdown = _WALL_CHECK_EVERY
-        while not event._triggered:
-            if not heap:
-                raise SimulationError(
-                    "simulation ran out of events before the awaited event "
-                    "triggered (deadlock?)")
-            if limit is not None and heap[0][0] > limit:
-                raise SimulationError(
-                    f"awaited event did not trigger before t={limit}")
-            when, _seq, callback, value = pop(heap)
-            self.now = when
-            callback(value)
+        countdown = self._wall_countdown
+        ready = self._ready
+        i = self._ready_i
+        try:
+            while not event._triggered:
+                if i < len(ready):
+                    callback, value = ready[i]
+                    i += 1
+                    if callback is None:
+                        continue
+                    callback(value)
+                    if deadline is not None:
+                        countdown -= 1
+                        if countdown == 0:
+                            countdown = _WALL_CHECK_EVERY
+                            self._check_wall_deadline()
+                    continue
+                if not times:
+                    raise SimulationError(
+                        "simulation ran out of events before the awaited "
+                        "event triggered (deadlock?)")
+                when = times[0]
+                if limit is not None and when > limit:
+                    raise SimulationError(
+                        f"awaited event did not trigger before t={limit}")
+                pop(times)
+                self.now = when
+                ready = cohorts.pop(when)
+                i = 0
+                self._cohorts_drained += 1
+        finally:
+            self._ready = ready
+            self._ready_i = i
             if deadline is not None:
-                countdown -= 1
-                if countdown == 0:
-                    countdown = _WALL_CHECK_EVERY
-                    self._check_wall_deadline()
+                self._wall_countdown = countdown
         if not event.ok:
             raise EventFailed(event.value)
         return event.value
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def scheduler_stats(self) -> Dict[str, float]:
+        """Counters describing how the tiered scheduler was exercised.
+
+        Cheap to maintain (touched per cohort / per timer, not per
+        event) and cheap to read; meant for the profiling CLI and perf
+        forensics, not for simulation logic.
+        """
+        events = self._sequence
+        created = self._cohorts_created
+        timers = self._timers_created
+        return {
+            "events_scheduled": events,
+            "cohorts_created": created,
+            "cohorts_drained": self._cohorts_drained,
+            "avg_cohort_size": events / created if created else 0.0,
+            # Fraction of schedules that had to touch the spill heap
+            # (opened a new timestamp) rather than joining a cohort.
+            "spill_rate": created / events if events else 0.0,
+            "peak_spill_depth": self._peak_spill,
+            "timers_created": timers,
+            "timers_cancelled": self._timers_cancelled,
+            "cancelled_timer_ratio": (self._timers_cancelled / timers
+                                      if timers else 0.0),
+        }

@@ -1,0 +1,230 @@
+"""Property suite: the tiered scheduler is order-identical to a heap.
+
+The reference model is the original single-``heapq`` scheduler: a list
+of ``(when, seq, callback, value)`` tuples popped one at a time.  The
+properties drive both schedulers through the same randomly generated
+command sequences — relative and absolute schedules, zero-delay bursts,
+timer cancellations, interleaved ``peek``/``run(until)`` boundaries —
+and require the dispatch order, timestamps, and final clock to match
+exactly.  Any tie-breaking or cohort-boundary bug in the cohort table /
+spill heap shows up as a divergent dispatch log.
+"""
+
+import heapq
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.netsim import Simulator
+
+
+class HeapReference:
+    """The pre-cohort scheduler: one binary heap, ``(time, seq)`` order.
+
+    Cancellation is modelled the way the production scheduler defines
+    it: a cancelled entry still advances the clock at its timestamp but
+    its callback never runs.
+    """
+
+    def __init__(self):
+        self.now = 0.0
+        self._heap = []
+        self._seq = 0
+
+    def schedule(self, delay, callback, value=None):
+        self.schedule_at(self.now + delay, callback, value)
+
+    def schedule_at(self, when, callback, value=None):
+        self._seq += 1
+        entry = [when, self._seq, callback, value]
+        heapq.heappush(self._heap, entry)
+
+    def call_later(self, delay, callback, value=None):
+        when = self.now + delay
+        self._seq += 1
+        entry = [when, self._seq, callback, value]
+        heapq.heappush(self._heap, entry)
+        return entry
+
+    def call_at(self, when, callback, value=None):
+        self._seq += 1
+        entry = [when, self._seq, callback, value]
+        heapq.heappush(self._heap, entry)
+        return entry
+
+    @staticmethod
+    def cancel(entry):
+        entry[2] = None
+
+    def peek(self):
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def run(self, until=None):
+        heap = self._heap
+        while heap:
+            when = heap[0][0]
+            if until is not None and when > until:
+                break
+            when, _seq, callback, value = heapq.heappop(heap)
+            self.now = when
+            if callback is not None:
+                callback(value)
+        if until is not None:
+            self.now = max(self.now, until)
+
+
+# Delays drawn from a small grid so same-timestamp cohorts (including
+# zero-delay bursts) are common, plus arbitrary floats for irregularity.
+_DELAYS = st.one_of(
+    st.sampled_from([0.0, 0.0, 1.0, 1.0, 2.0, 0.5, 1e-9]),
+    st.floats(min_value=0.0, max_value=10.0,
+              allow_nan=False, allow_infinity=False),
+)
+
+
+@st.composite
+def _programs(draw):
+    """A program is a list of scheduling commands executed up front plus
+    commands executed *from inside callbacks* (self-rescheduling)."""
+    n = draw(st.integers(min_value=1, max_value=40))
+    commands = []
+    for _ in range(n):
+        kind = draw(st.sampled_from(
+            ["schedule", "schedule", "schedule_at", "timer", "timer",
+             "chain"]))
+        delay = draw(_DELAYS)
+        cancel = draw(st.booleans()) if kind == "timer" else False
+        # chain: the callback reschedules itself `depth` more times.
+        depth = draw(st.integers(1, 3)) if kind == "chain" else 0
+        redelay = draw(_DELAYS) if kind == "chain" else 0.0
+        commands.append((kind, delay, cancel, depth, redelay))
+    return commands
+
+
+def _execute(sim, commands, log):
+    """Load one command program into a scheduler, logging dispatches."""
+    timers = []
+
+    def make_cb(tag):
+        def cb(value):
+            log.append((sim.now, tag, value))
+        return cb
+
+    def make_chain(tag, depth, redelay):
+        state = {"left": depth}
+
+        def cb(value):
+            log.append((sim.now, tag, state["left"]))
+            if state["left"] > 0:
+                state["left"] -= 1
+                sim.schedule(redelay, cb, None)
+        return cb
+
+    for index, (kind, delay, cancel, depth, redelay) in enumerate(commands):
+        tag = f"{kind}{index}"
+        if kind == "schedule":
+            sim.schedule(delay, make_cb(tag), index)
+        elif kind == "schedule_at":
+            sim.schedule_at(sim.now + delay, make_cb(tag), index)
+        elif kind == "timer":
+            handle = sim.call_later(delay, make_cb(tag), index)
+            if cancel:
+                timers.append(handle)
+        elif kind == "chain":
+            sim.schedule(delay, make_chain(tag, depth, redelay), None)
+    for handle in timers:
+        if type(handle) is list:          # reference model entry
+            HeapReference.cancel(handle)
+        else:                             # TimerHandle (list subclass)
+            handle.cancel()
+
+
+@settings(max_examples=200, deadline=None)
+@given(_programs())
+def test_dispatch_order_matches_heap_reference(commands):
+    ref_log, new_log = [], []
+    ref = HeapReference()
+    _execute(ref, commands, ref_log)
+    ref.run()
+
+    sim = Simulator(seed=0)
+    _execute(sim, commands, new_log)
+    sim.run()
+
+    assert new_log == ref_log
+    assert sim.now == ref.now
+
+
+@settings(max_examples=200, deadline=None)
+@given(_programs(),
+       st.lists(st.floats(min_value=0.0, max_value=12.0,
+                          allow_nan=False, allow_infinity=False),
+                min_size=1, max_size=5))
+def test_interleaved_run_until_and_peek_boundaries(commands, boundaries):
+    """run(until) must stop exactly at cohort boundaries and peek must
+    agree between models at every pause point."""
+    boundaries = sorted(boundaries)
+    ref_log, new_log = [], []
+    ref = HeapReference()
+    _execute(ref, commands, ref_log)
+    sim = Simulator(seed=0)
+    _execute(sim, commands, new_log)
+
+    for until in boundaries:
+        if until < ref.now:
+            continue
+        ref.run(until=until)
+        sim.run(until=until)
+        assert new_log == ref_log
+        assert sim.now == ref.now
+        assert sim.peek() == ref.peek() or (
+            # peek may differ only in how cancelled heads are reported;
+            # both must still agree on "nothing pending".
+            math.isinf(sim.peek()) == math.isinf(ref.peek()))
+    ref.run()
+    sim.run()
+    assert new_log == ref_log
+    assert sim.now == ref.now
+
+
+@settings(max_examples=100, deadline=None)
+@given(_programs())
+def test_step_by_step_matches_run(commands):
+    """Driving the scheduler one step() at a time dispatches the exact
+    sequence a single run() would (shared dispatch state)."""
+    run_log, step_log = [], []
+    whole = Simulator(seed=0)
+    _execute(whole, commands, run_log)
+    whole.run()
+
+    stepped = Simulator(seed=0)
+    _execute(stepped, commands, step_log)
+    while stepped.peek() != float("inf"):
+        try:
+            stepped.step()
+        except IndexError:
+            break
+    assert step_log == run_log
+    assert stepped.now == whole.now
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.tuples(_DELAYS, st.booleans()),
+                min_size=1, max_size=30))
+def test_cancellation_timestamps_still_advance_clock(pairs):
+    """A drained schedule ends at the same clock whether its last timers
+    fired or were cancelled (cancelled entries advance time lazily)."""
+    sim = Simulator(seed=0)
+    fired = []
+    latest = 0.0
+    for delay, cancel in pairs:
+        handle = sim.call_later(delay, fired.append, delay)
+        latest = max(latest, handle.when)
+        if cancel:
+            assert handle.cancel()
+            assert handle.cancelled
+            assert not handle.cancel()     # idempotent
+    sim.run()
+    assert sim.now == latest
+    assert fired == sorted(
+        d for (d, cancel) in pairs if not cancel)

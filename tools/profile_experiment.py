@@ -38,7 +38,47 @@ from pathlib import Path
 from time import perf_counter
 
 
+def _print_scheduler_stats(sims: list) -> None:
+    """Summarize scheduler_stats() across every simulator the run built.
+
+    Counters are additive across simulators; the derived ratios
+    (cohort size, spill rate, cancelled-timer ratio) are recomputed
+    from the pooled counters so multi-simulator runs (warmup + measured,
+    sweep grid points) report the blended truth rather than an average
+    of averages.
+    """
+    if not sims:
+        print("scheduler stats   : no simulators constructed during run")
+        return
+    totals = {}
+    peak_spill = 0
+    for sim in sims:
+        stats = sim.scheduler_stats()
+        peak_spill = max(peak_spill, stats["peak_spill_depth"])
+        for key in ("events_scheduled", "cohorts_created",
+                    "cohorts_drained", "timers_created",
+                    "timers_cancelled"):
+            totals[key] = totals.get(key, 0) + stats[key]
+    events = totals["events_scheduled"]
+    cohorts = totals["cohorts_created"]
+    timers = totals["timers_created"]
+    print(f"scheduler stats   : {len(sims)} simulator(s), "
+          f"{events:,} events in {cohorts:,} cohorts")
+    print(f"  avg cohort size : {events / cohorts if cohorts else 0.0:.2f} "
+          f"events/bucket")
+    print(f"  spill rate      : "
+          f"{cohorts / events if events else 0.0:.4f} "
+          f"(new-timestamp schedules / total)")
+    print(f"  peak spill depth: {peak_spill:,} distinct pending timestamps")
+    print(f"  timers          : {timers:,} armed, "
+          f"{totals['timers_cancelled']:,} cancelled "
+          f"({totals['timers_cancelled'] / timers if timers else 0.0:.1%} "
+          f"cancelled-timer ratio)")
+
+
 def profile_single(name: str, run, kwargs: dict, args) -> None:
+    from repro.netsim.simulator import track_simulators
+
     # Tracing is armed before and exported after the profiled region,
     # so the JSON export does not drown the experiment in the profile.
     if args.trace:
@@ -46,6 +86,8 @@ def profile_single(name: str, run, kwargs: dict, args) -> None:
                                stop_trace)
         start_trace()
 
+    sims: list = []
+    track_simulators(sims)
     profiler = cProfile.Profile()
     start = perf_counter()
     profiler.enable()
@@ -53,6 +95,7 @@ def profile_single(name: str, run, kwargs: dict, args) -> None:
         run(**kwargs)
     finally:
         profiler.disable()
+        track_simulators(None)
         if args.trace:
             stop_trace()
     wall = perf_counter() - start
@@ -66,6 +109,8 @@ def profile_single(name: str, run, kwargs: dict, args) -> None:
 
     stats = pstats.Stats(profiler, stream=sys.stdout)
     stats.sort_stats(args.sort).print_stats(args.top)
+    _print_scheduler_stats(sims)
+    sims.clear()
     print(f"{name}.run(**{kwargs}): {wall:.2f} s wall "
           f"(includes profiler overhead)")
     if args.dump:
