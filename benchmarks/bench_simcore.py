@@ -26,11 +26,13 @@ Run with:  pytest benchmarks/bench_simcore.py --benchmark-only
 from __future__ import annotations
 
 import heapq
+from array import array
 from time import perf_counter
 
 from repro.experiments.common import run_sync_aggregation
 from repro.netsim import Host, Link, Node, Simulator
-from repro.protocol import KVBlock, Packet, full_bitmap
+from repro.protocol import (DEFAULT_FP_CODEC, Int8BlockCodec, KVBlock,
+                            Packet, full_bitmap)
 from repro.switchsim import RegisterFile
 
 RAW_EVENTS = 200_000
@@ -355,6 +357,67 @@ def drive_kv_kernels(n_packets: int = KERNEL_PACKETS) -> float:
     return n_packets * 32 / elapsed
 
 
+def drive_fp_kernels(n_packets: int = KERNEL_PACKETS) -> float:
+    """Table-fp aggregation cycle per 32-slot packet; fp values/sec.
+
+    The agg=fadd hot path: ``fadd_block`` (table add with truncating
+    align/renormalize per slot) followed by the ``get_block`` read and
+    the return-path clear.  Bench against ``kv_kernel_values_per_sec``
+    for the table-float premium over the fused integer kernel.
+    """
+    regs = RegisterFile(segments=32, registers_per_segment=2048)
+    n_blocks = 64
+    one = DEFAULT_FP_CODEC.encode(1.0)[0]
+    blocks = [KVBlock.from_columns(range(i * 32, i * 32 + 32), [one] * 32,
+                                   mapped_mask=-1)
+              for i in range(n_blocks)]
+    ones = blocks[0].values[:]
+    select = full_bitmap(32)
+    fadd = regs.fadd_block
+    get = regs.get_block
+    clear = regs.clear_block
+    start = perf_counter()
+    for i in range(n_packets):
+        block = blocks[i % n_blocks]
+        block.values[:] = ones
+        fadd(block, select, 0)
+        get(block, select, 0)
+        clear(block.addrs, select, 0)
+    elapsed = perf_counter() - start
+    return n_packets * 32 / elapsed
+
+
+def drive_quantized_kernels(n_packets: int = KERNEL_PACKETS) -> float:
+    """Int8-quantized aggregation cycle; quantized values/sec.
+
+    The agg=qadd path is the integer kernel plus the host-side codec:
+    encode a 32-value float block to int8 codes, run the fused
+    ``add_get_block``, decode the accumulated codes, then clear.
+    """
+    regs = RegisterFile(segments=32, registers_per_segment=2048)
+    codec = Int8BlockCodec()
+    n_blocks = 64
+    floats = [0.125 * (j - 16) for j in range(32)]
+    blocks = [KVBlock.from_columns(range(i * 32, i * 32 + 32), [0] * 32,
+                                   mapped_mask=-1)
+              for i in range(n_blocks)]
+    select = full_bitmap(32)
+    add_get = regs.add_get_block
+    clear = regs.clear_block
+    encode = codec.encode_block
+    decode = codec.decode_block
+    start = perf_counter()
+    for i in range(n_packets):
+        block = blocks[i % n_blocks]
+        scale, codes = encode(floats)
+        block.values[:] = array("q", codes)
+        add_get(block, select, 0)
+        decode(scale, block.values)
+        clear(block.addrs, select, 0)
+    elapsed = perf_counter() - start
+    return n_packets * 32 / elapsed
+
+
 # ----------------------------------------------------------------------
 def test_raw_event_rate(benchmark):
     rate = benchmark.pedantic(drive_raw_events, rounds=3, iterations=1)
@@ -401,3 +464,16 @@ def test_kv_kernel_rate(benchmark):
     rate = benchmark.pedantic(drive_kv_kernels, rounds=3, iterations=1)
     benchmark.extra_info["kv_kernel_values_per_sec"] = rate
     assert rate > 100_000
+
+
+def test_fp_kernel_rate(benchmark):
+    rate = benchmark.pedantic(drive_fp_kernels, rounds=3, iterations=1)
+    benchmark.extra_info["fp_agg_values_per_sec"] = rate
+    assert rate > 20_000
+
+
+def test_quantized_kernel_rate(benchmark):
+    rate = benchmark.pedantic(drive_quantized_kernels, rounds=3,
+                              iterations=1)
+    benchmark.extra_info["quantized_agg_values_per_sec"] = rate
+    assert rate > 20_000

@@ -37,8 +37,9 @@ from time import perf_counter
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from bench_simcore import (drive_aggregation, drive_cohort_drain,
-                           drive_event_churn, drive_kv_kernels, drive_link,
-                           drive_packet_copy, drive_raw_events)
+                           drive_event_churn, drive_fp_kernels,
+                           drive_kv_kernels, drive_link, drive_packet_copy,
+                           drive_quantized_kernels, drive_raw_events)
 
 from repro.experiments import exp_micro
 from repro.sweep import RunSpec, SweepEngine, default_workers
@@ -105,6 +106,15 @@ def measure(fast: bool = False) -> dict:
     rate = max(drive_kv_kernels(20_000 // scale) for _ in range(rounds))
     results["kv_kernel_values_per_sec"] = rate
     print(f"fused kv kernels   : {rate:12,.0f} values/s")
+
+    rate = max(drive_fp_kernels(20_000 // scale) for _ in range(rounds))
+    results["fp_agg_values_per_sec"] = rate
+    print(f"table-fp kernels   : {rate:12,.0f} values/s")
+
+    rate = max(drive_quantized_kernels(20_000 // scale)
+               for _ in range(rounds))
+    results["quantized_agg_values_per_sec"] = rate
+    print(f"int8 agg kernels   : {rate:12,.0f} values/s")
 
     agg = min((drive_aggregation(32_768 // scale) for _ in range(rounds)),
               key=lambda r: r["agg_wall_s"])

@@ -8,11 +8,20 @@ lock server (Agreement).
 from .lock import LOCK_PROTO, LockService, lock_filters
 from .monitoring import MONITOR_PROTO, FlowMonitor, monitor_filters
 from .paxos import PAXOS_PROTO, PaxosCluster, paxos_filters
-from .training import GRAD_PROTO, TrainingJob, TrainingReport, gradient_filter
+from .training import (
+    CONVERGENCE_MODES,
+    GRAD_PROTO,
+    ConvergenceJob,
+    ConvergenceReport,
+    TrainingJob,
+    TrainingReport,
+    gradient_filter,
+)
 from .wordcount import MR_PROTO, WordCountJob, mr_filters
 
 __all__ = [
     "TrainingJob", "TrainingReport", "GRAD_PROTO", "gradient_filter",
+    "ConvergenceJob", "ConvergenceReport", "CONVERGENCE_MODES",
     "WordCountJob", "MR_PROTO", "mr_filters",
     "FlowMonitor", "MONITOR_PROTO", "monitor_filters",
     "PaxosCluster", "PAXOS_PROTO", "paxos_filters",

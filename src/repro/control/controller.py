@@ -193,6 +193,16 @@ class Controller:
             all_linear = all(linear)
         else:
             all_linear = bool(linear)
+        # Fp accumulators hold ordered encodings, so they can never
+        # double as CntFwd counters: a counting fp program needs the
+        # linear layout's dedicated side-counter region.
+        for program in programs:
+            if program.agg.is_float and program.cntfwd.counts \
+                    and not all_linear:
+                raise ValueError(
+                    f"program {program.app_name!r}: agg={program.agg.value} "
+                    f"with a counting CntFwd requires linear addressing "
+                    f"(fp registers cannot serve as counters)")
         # Map-keyed counting apps count on their value registers, which
         # must live where CntFwd verdicts are made (the edge switch).
         needs_edge_values = any(p.cntfwd.counts for p in programs) \

@@ -24,6 +24,7 @@ import json
 from typing import Any, Dict, Optional, Tuple
 
 from repro.protocol import (
+    AggOp,
     ClearPolicy,
     CntFwdSpec,
     ForwardTarget,
@@ -35,7 +36,7 @@ from repro.protocol import (
 __all__ = ["parse_netfilter", "netfilter_to_json", "NetFilterError"]
 
 _KNOWN_KEYS = {"AppName", "Precision", "get", "addTo", "clear", "modify",
-               "CntFwd", "retry"}
+               "CntFwd", "retry", "agg"}
 
 
 class NetFilterError(ValueError):
@@ -85,6 +86,14 @@ def parse_netfilter(source: Any) -> RIPProgram:
     modify_op, modify_para = _parse_modify(config.get("modify", "nop"))
     cntfwd = _parse_cntfwd(config.get("CntFwd"))
 
+    agg_text = config.get("agg", "add")
+    if not isinstance(agg_text, str):
+        raise NetFilterError("agg must be a string operator name")
+    try:
+        agg = AggOp.parse(agg_text)
+    except ValueError as exc:
+        raise NetFilterError(str(exc)) from None
+
     retry_text = config.get("retry")
     if retry_text is not None:
         try:
@@ -100,7 +109,7 @@ def parse_netfilter(source: Any) -> RIPProgram:
         return RIPProgram(
             app_name=app_name, precision=precision, get_field=get_field,
             add_to_field=add_field, clear=clear, modify_op=modify_op,
-            modify_para=modify_para, cntfwd=cntfwd, retry=retry)
+            modify_para=modify_para, cntfwd=cntfwd, retry=retry, agg=agg)
     except ValueError as exc:
         raise NetFilterError(str(exc)) from None
 
@@ -183,5 +192,6 @@ def netfilter_to_json(program: RIPProgram) -> str:
             "key": program.cntfwd.key,
         },
         "retry": program.retry.value,
+        "agg": program.agg.value,
     }
     return json.dumps(config, indent=2)

@@ -81,7 +81,7 @@ class ClientStub:
             round = self._rounds.get(method_name, 0)
             self._rounds[method_name] = round + 1
 
-        quantizer = config.quantizer
+        quantizer = config.codec
         items: list = []
         stream_len = 0
         if binding.stream_field is not None:

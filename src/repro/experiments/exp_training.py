@@ -1,16 +1,24 @@
-"""Figure 6: deep-learning training speed per worker.
+"""Figure 6: deep-learning training speed per worker — and beyond it,
+seeded convergence trajectories over the fp/quantized INC ops.
 
-Methodology: measure each system's steady-state aggregation goodput on
-the simulated dataplane, then compose per-model training speed as
-``batch / (compute_time + gradient_bits / goodput)`` — the PushPull
-iteration structure of the paper's BytePS-based deployment (no
+Methodology for Figure 6: measure each system's steady-state aggregation
+goodput on the simulated dataplane, then compose per-model training
+speed as ``batch / (compute_time + gradient_bits / goodput)`` — the
+PushPull iteration structure of the paper's BytePS-based deployment (no
 compute/communication overlap, as in §6.3's setup).  The DNN profiles
 substitute the GPU testbed (see DESIGN.md).
+
+The convergence extension (DESIGN.md §4.8) goes past the paper's
+throughput-only evaluation: :func:`convergence_trajectory` runs a seeded
+SGD job whose gradient all-reduce flows through the real deployment
+under each aggregation mode (table-fp, int8 block quantization,
+coordinated top-k) and returns the loss curve, with the exact host-side
+float64 reduction as the reference.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 from repro.baselines import build_aggregation_job
 from repro.sweep import RunSpec, sweep_values
@@ -18,7 +26,7 @@ from repro.workloads import MODELS
 
 from .common import CAL, format_table, run_sync_aggregation
 
-__all__ = ["run", "SYSTEMS"]
+__all__ = ["run", "run_convergence", "convergence_trajectory", "SYSTEMS"]
 
 SYSTEMS = ("NetRPC", "ATP", "SwitchML", "BytePS")
 
@@ -50,6 +58,51 @@ def training_speed(model_name: str, goodput_gbps: float) -> float:
     model = MODELS[model_name]
     comm_s = model.gradient_bytes * 8 / (goodput_gbps * 1e9)
     return model.samples_per_iteration / (model.compute_s + comm_s)
+
+
+# ---------------------------------------------------------------------------
+# convergence trajectories (fp / quantized INC vs exact host reduction)
+# ---------------------------------------------------------------------------
+def convergence_trajectory(mode: str, workers: int = 2, dim: int = 64,
+                           rounds: int = 12, seed: int = 7,
+                           samples: int = 16, lr: float = 0.05,
+                           topk: int = 16) -> List[float]:
+    """Loss curve of one seeded convergence run (sweep-importable).
+
+    Pure function of its arguments: the deployment, the dataset, and
+    the SGD loop are all derived from ``seed``, so the same call is
+    bit-identical across processes (the sweep workers=1 vs 2 contract).
+    """
+    from repro.apps import ConvergenceJob
+    from repro.control import build_rack
+
+    deployment = None
+    if mode != "exact":
+        deployment = build_rack(workers, 1, cal=CAL, seed=seed)
+    job = ConvergenceJob(deployment, mode, workers=workers, dim=dim,
+                         samples=samples, seed=seed, lr=lr, topk=topk)
+    return job.run(rounds=rounds).losses
+
+
+def run_convergence(fast: bool = True, seed: int = 7) -> dict:
+    """Loss trajectories for every aggregation mode, via the sweep pool."""
+    from repro.apps import CONVERGENCE_MODES
+
+    rounds = 8 if fast else 16
+    dim = 64 if fast else 128
+    specs = [RunSpec("repro.experiments.exp_training.convergence_trajectory",
+                     {"mode": mode, "workers": 2, "dim": dim,
+                      "rounds": rounds, "seed": seed},
+                     label=f"conv:{mode}")
+             for mode in CONVERGENCE_MODES]
+    curves = dict(zip(CONVERGENCE_MODES, sweep_values(specs)))
+    rows = [[mode, f"{curve[0]:.4f}", f"{curve[-1]:.6f}"]
+            for mode, curve in curves.items()]
+    table = format_table(
+        "Convergence: loss after first/last round (seeded SGD, dim="
+        f"{dim}, {rounds} rounds)",
+        ["mode", "initial", "final"], rows)
+    return {"curves": curves, "table": table, "rounds": rounds, "dim": dim}
 
 
 def run(fast: bool = True) -> dict:

@@ -12,7 +12,14 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Tuple
 
-from repro.protocol import ClearPolicy, Quantizer, RIPProgram
+from repro.protocol import (
+    DEFAULT_FMAX_CODEC,
+    DEFAULT_FP_CODEC,
+    AggOp,
+    ClearPolicy,
+    Quantizer,
+    RIPProgram,
+)
 
 from .memory import MemoryRegion
 
@@ -44,6 +51,23 @@ class AppConfig:
 
     @property
     def quantizer(self) -> Quantizer:
+        return Quantizer(self.program.precision)
+
+    @property
+    def codec(self):
+        """The value codec for this app's wire format.
+
+        Fp aggregations carry ordered fp encodings — the shared table-fp
+        codec for agg=fadd, its biased variant for agg=fmax (a cleared
+        register must sit below every value there).  Everything else
+        keeps the paper's fixed-point :class:`Quantizer`.  All three
+        expose the same ``encode(float) -> (int, bool)`` /
+        ``decode(int) -> float`` surface the RPC layer codes against.
+        """
+        if self.program.agg is AggOp.FMAX:
+            return DEFAULT_FMAX_CODEC
+        if self.program.agg is AggOp.FADD:
+            return DEFAULT_FP_CODEC
         return Quantizer(self.program.precision)
 
     @property

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, List, Tuple
 
-from repro.protocol import StreamOp, apply_stream_op
+from repro.protocol import DEFAULT_FP_CODEC, StreamOp, apply_stream_op
 
 __all__ = ["SoftwareINCMap"]
 
@@ -29,6 +29,10 @@ class SoftwareINCMap:
     def __init__(self):
         self._values: Dict[Any, int] = {}
         self._counters: Dict[Any, int] = {}
+        # Fp entries (agg=fadd/fmax) accumulate in float64 — the software
+        # path is the *exact* executor, strictly better than the switch's
+        # table arithmetic; reads re-encode for the wire.
+        self._floats: Dict[Any, float] = {}
 
     # ------------------------------------------------------------------
     # Map primitives (Table 2 semantics, unbounded precision)
@@ -51,6 +55,44 @@ class SoftwareINCMap:
                ) -> List[int]:
         """Stream.modify applied to a value stream (no map access)."""
         return [apply_stream_op(op, v, para)[0] for v in values]
+
+    def fadd_to(self, key: Any, ordered: int,
+                codec=DEFAULT_FP_CODEC) -> float:
+        """Fp Map.addTo: decode the wire encoding, accumulate in float64."""
+        total = self._floats.get(key, 0.0) + codec.decode(ordered)
+        self._floats[key] = total
+        return total
+
+    def fmax_to(self, key: Any, ordered: int,
+                codec=DEFAULT_FP_CODEC) -> float:
+        """Fp max-combine over the float64 shadow value.
+
+        An absent key is the max *identity* (first contribution wins
+        outright) — not 0.0, which would floor negative maxima.
+        """
+        value = codec.decode(ordered)
+        if key not in self._floats or value > self._floats[key]:
+            self._floats[key] = value
+        return self._floats[key]
+
+    def fget(self, key: Any, codec=DEFAULT_FP_CODEC) -> int:
+        """Fp Map.get: the accumulated float re-encoded for the wire.
+
+        Absent keys read as raw 0 — exactly what a cleared switch
+        register reads as under either fp codec.
+        """
+        if key not in self._floats:
+            return 0
+        ordered, _ = codec.encode(self._floats[key])
+        return ordered
+
+    def fclear(self, key: Any) -> float:
+        """Fp Map.clear: drop the entry; returns the float it held."""
+        return self._floats.pop(key, 0.0)
+
+    def fvalue(self, key: Any) -> float:
+        """The accumulated float itself (no re-encoding; recovery math)."""
+        return self._floats.get(key, 0.0)
 
     def count_forward(self, key: Any, threshold: int) -> bool:
         """CntFwd: increment and report whether the threshold was reached.

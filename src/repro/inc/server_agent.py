@@ -28,6 +28,7 @@ from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 from repro.netsim import Calibration, DEFAULT_CALIBRATION, Host, Simulator
 from repro.obs.tracer import TRACE
 from repro.protocol import (
+    AggOp,
     ClearPolicy,
     ForwardTarget,
     KVBlock,
@@ -438,6 +439,30 @@ class ServerAgent:
             if phys is not None:
                 replay_append((phys, key, value))
                 continue
+            if prog.agg.is_float:
+                # Fp software path: values are ordered encodings; the
+                # float64 shadow accumulator is the exact executor.
+                # (Validation forbids Stream.modify and LAZY for fp.)
+                codec = config.codec
+                if prog.uses_add_to:
+                    if prog.agg is AggOp.FADD:
+                        state.soft.fadd_to(key, value, codec)
+                    else:
+                        state.soft.fmax_to(key, value, codec)
+                if prog.uses_get:
+                    values[key] = state.soft.fget(key, codec)
+                if prog.cntfwd.counts:
+                    # Fp accumulators never double as counters — always
+                    # the side counter, mirroring the switch pipeline.
+                    if state.soft.count_forward(key, prog.cntfwd.threshold):
+                        values.setdefault(key, state.soft.fget(key, codec))
+                    else:
+                        absorbed = True
+                if prog.clear is ClearPolicy.COPY and not prog.cntfwd.counts:
+                    values.setdefault(key, state.soft.fget(key, codec))
+                    state.soft.fclear(key)
+                    state.soft.clear_counter(key)
+                continue
             if prog.modify_op is not StreamOp.NOP:
                 value = state.soft.modify(prog.modify_op, [value],
                                           prog.modify_para)[0]
@@ -530,7 +555,11 @@ class ServerAgent:
             return None
         # Seed the register with whatever accumulated in software so the
         # switch becomes the single authority for this key.
-        seed = state.soft.clear(key) + state.soft.clear_counter(key)
+        if config.program.agg.is_float:
+            state.soft.clear_counter(key)
+            seed, _of = config.codec.encode(state.soft.fclear(key))
+        else:
+            seed = state.soft.clear(key) + state.soft.clear_counter(key)
         if seed:
             self._ctrl(state, lambda sw: sw.ctrl_write(phys, seed))
         for client in config.clients:
@@ -569,11 +598,22 @@ class ServerAgent:
             if switch is None:  # pragma: no cover - defensive
                 continue
             if prog.uses_add_to:
-                _new, overflowed = switch.ctrl_add(phys, value)
+                if prog.agg is AggOp.FADD:
+                    _new, overflowed = switch.ctrl_fadd(phys, value,
+                                                        config.codec)
+                elif prog.agg is AggOp.FMAX:
+                    _new, overflowed = switch.ctrl_fmax(phys, value)
+                else:
+                    _new, overflowed = switch.ctrl_add(phys, value)
                 if overflowed:
                     # Keep the delta exact in software; the sticky bit
                     # drives the normal overflow recovery downstream.
-                    state.soft.add_to(key, value)
+                    if prog.agg is AggOp.FADD:
+                        state.soft.fadd_to(key, value, config.codec)
+                    elif prog.agg is AggOp.FMAX:
+                        state.soft.fmax_to(key, value, config.codec)
+                    else:
+                        state.soft.add_to(key, value)
             if prog.uses_get:
                 values[key] = switch.ctrl_read([phys])[0][1]
             if prog.cntfwd.counts:
@@ -634,7 +674,23 @@ class ServerAgent:
             if len(buf) < prog.cntfwd.threshold:
                 return
             contributions = state.overflow_buf.pop((pkt.round, pkt.offset))
-            corrected = [sum(col) for col in zip(*contributions.values())]
+            columns = zip(*contributions.values())
+            if prog.agg is AggOp.FADD:
+                # Exact float64 re-reduction of the raw encodings; the
+                # corrected value saturates only if it is genuinely
+                # beyond the format (then MAX is the honest answer).
+                codec = config.codec
+                corrected = [
+                    codec.encode(sum(codec.decode(v) for v in col))[0]
+                    for col in columns]
+            elif prog.agg is AggOp.FMAX:
+                # Ordered encodings compare like floats: integer max of
+                # the raw replays IS the exact fp max.
+                corrected = [max(col) for col in columns]
+            else:
+                # Integer (incl. qadd codes / topk coordinates): 64-bit
+                # software sum.
+                corrected = [sum(col) for col in columns]
             self.stats["corrected_chunks"] += 1
             self._finish_corrected_chunk(state, config, pkt, corrected)
             return
@@ -645,6 +701,21 @@ class ServerAgent:
         keys_col = block.keys
         for index, value in enumerate(block.values):
             key = keys_col[index] if keys_col is not None else None
+            if prog.agg.is_float:
+                codec = config.codec
+                if prog.uses_add_to:
+                    if prog.agg is AggOp.FADD:
+                        state.soft.fadd_to(key, value, codec)
+                    else:
+                        state.soft.fmax_to(key, value, codec)
+                if prog.uses_get:
+                    reg = codec.decode(
+                        self._register_part(state, config, key))
+                    soft = state.soft.fvalue(key)
+                    total = soft + reg if prog.agg is AggOp.FADD \
+                        else max(soft, reg)
+                    values[key] = codec.encode(total)[0]
+                continue
             if prog.uses_add_to:
                 state.soft.add_to(key, value)
             if prog.uses_get:
@@ -694,6 +765,19 @@ class ServerAgent:
         self._store_round_chunk(state, config, pkt,
                                 dict(zip(key_range, corrected)))
 
+    def _merge_evicted(self, state: _AppServerState, key: Any,
+                       value: int) -> None:
+        """Fold an evicted register back into the software map, in the
+        application's aggregation arithmetic."""
+        config = state.any_config()
+        agg = config.program.agg
+        if agg is AggOp.FADD:
+            state.soft.fadd_to(key, value, config.codec)
+        elif agg is AggOp.FMAX:
+            state.soft.fmax_to(key, value, config.codec)
+        else:
+            state.soft.merge_register(key, value)
+
     # ------------------------------------------------------------------
     # cache-update window: periodic LRU eviction (§5.2.2)
     # ------------------------------------------------------------------
@@ -715,7 +799,7 @@ class ServerAgent:
                         break
                 key = state.key_of_logical.get(logical)
                 if key is not None and value:
-                    state.soft.merge_register(key, value)
+                    self._merge_evicted(state, key, value)
                 state.mm.finish_eviction(logical, self.sim.now)
                 state.pending_revokes.append(logical)
                 self.stats["evictions"] += 1
@@ -741,7 +825,7 @@ class ServerAgent:
                 if switch.owns(phys):
                     value = switch.ctrl_read_and_clear([phys])[0][1]
                     if key is not None and value:
-                        state.soft.merge_register(key, value)
+                        self._merge_evicted(state, key, value)
                     retrieved += 1
                     break
             state.mm.finish_eviction(logical, self.sim.now)

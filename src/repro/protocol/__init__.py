@@ -13,16 +13,33 @@ from .arith import (
     saturating_add,
     wrap32,
 )
+from .fpcodec import (
+    DEFAULT_FMAX_CODEC,
+    DEFAULT_FP_CODEC,
+    FPCodec,
+    OrderedMaxCodec,
+)
 from .kvblock import KVBlock, KVSlot
 from .ops import StreamOp, apply_stream_op
 from .packets import KV_PAIRS_PER_PACKET, KVPair, Packet, full_bitmap
-from .rips import ClearPolicy, CntFwdSpec, ForwardTarget, RIPProgram, RetryMode
+from .quantize import Int8BlockCodec, topk_indices, topk_sparsify
+from .rips import (
+    AggOp,
+    ClearPolicy,
+    CntFwdSpec,
+    ForwardTarget,
+    RIPProgram,
+    RetryMode,
+)
 
 __all__ = [
     "INT32_MAX", "INT32_MIN", "Quantizer", "is_overflow_sentinel",
     "saturating_add", "wrap32",
+    "FPCodec", "OrderedMaxCodec", "DEFAULT_FP_CODEC", "DEFAULT_FMAX_CODEC",
+    "Int8BlockCodec", "topk_indices", "topk_sparsify",
     "StreamOp", "apply_stream_op",
     "Packet", "KVPair", "KVBlock", "KVSlot", "KV_PAIRS_PER_PACKET",
     "full_bitmap",
     "RIPProgram", "CntFwdSpec", "ClearPolicy", "ForwardTarget", "RetryMode",
+    "AggOp",
 ]

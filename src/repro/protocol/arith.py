@@ -11,6 +11,7 @@ including the documented MAX_INT false-positive).
 
 from __future__ import annotations
 
+import math
 from typing import Tuple
 
 __all__ = [
@@ -80,8 +81,15 @@ class Quantizer:
 
         Returns ``(fixed, overflowed)``.  A value too large for int32
         saturates and reports overflow so the agent can route it through
-        the software path up front.
+        the software path up front; ±inf saturates the same way rather
+        than leaking ``round()``'s OverflowError.  NaN is rejected — it
+        has no fixed-point image and silently aggregating one would
+        poison the result.
         """
+        if not math.isfinite(value):
+            if math.isnan(value):
+                raise ValueError("cannot quantize NaN to fixed point")
+            return (INT32_MAX if value > 0 else INT32_MIN), True
         fixed = round(value * self.scale)
         if fixed > INT32_MAX:
             return INT32_MAX, True

@@ -22,12 +22,56 @@ from typing import Optional
 from .ops import StreamOp
 
 __all__ = [
+    "AggOp",
     "ClearPolicy",
     "ForwardTarget",
     "RetryMode",
     "CntFwdSpec",
     "RIPProgram",
 ]
+
+
+class AggOp(enum.Enum):
+    """Aggregation operator applied by ``Map.addTo`` (NetFilter ``agg``).
+
+    ``ADD`` is the paper's 32-bit saturating integer accumulate.  The
+    remaining modes extend it:
+
+    * ``FADD``/``FMAX`` — table-based floating point à la NetFC; register
+      contents are :mod:`~repro.protocol.fpcodec` ordered encodings and
+      the switch runs the lookup-table add / integer-max kernels.
+    * ``QADD`` — int8 block-quantized add: clients pre-quantize to int8
+      codes under a shared scale, the switch accumulates the codes with
+      the plain integer kernel (host-side decode restores floats).
+    * ``TOPK`` — coordinated top-k sparse updates; clients send only the
+      selected coordinates, the switch dense-merges them with the plain
+      integer kernel.
+
+    ``QADD``/``TOPK`` therefore change nothing in the dataplane — the op
+    tag exists so hosts choose the right codec and the overflow-recovery
+    path computes corrected aggregates in the right arithmetic.
+    """
+
+    ADD = "add"
+    FADD = "fadd"
+    FMAX = "fmax"
+    QADD = "qadd"
+    TOPK = "topk"
+
+    @classmethod
+    def parse(cls, text: str) -> "AggOp":
+        try:
+            return cls(text.strip().lower())
+        except ValueError:
+            valid = ", ".join(op.value for op in cls)
+            raise ValueError(
+                f"unknown agg op {text!r}; expected one of: {valid}"
+            ) from None
+
+    @property
+    def is_float(self) -> bool:
+        """Whether register contents are fp ordered encodings."""
+        return self is AggOp.FADD or self is AggOp.FMAX
 
 
 class ClearPolicy(enum.Enum):
@@ -138,6 +182,7 @@ class RIPProgram:
     modify_para: int = 0
     cntfwd: CntFwdSpec = field(default_factory=CntFwdSpec)
     retry: RetryMode = RetryMode.PERSIST
+    agg: AggOp = AggOp.ADD
 
     def __post_init__(self):
         if not self.app_name:
@@ -145,6 +190,23 @@ class RIPProgram:
         if not 0 <= self.precision <= 9:
             raise ValueError(
                 f"precision must be in [0, 9], got {self.precision}")
+        if self.agg.is_float:
+            # Fp registers hold ordered encodings: fixed-point scaling,
+            # Stream.modify integer ops, and LAZY's baseline subtraction
+            # are all meaningless on them.
+            if self.precision > 0:
+                raise ValueError(
+                    f"agg={self.agg.value} carries its own float codec; "
+                    f"precision must be 0, got {self.precision}")
+            if self.modify_op is not StreamOp.NOP:
+                raise ValueError(
+                    f"agg={self.agg.value} cannot combine with "
+                    f"Stream.modify ({self.modify_op.value}): the modify "
+                    f"ALU is integer-only")
+            if self.clear is ClearPolicy.LAZY:
+                raise ValueError(
+                    f"agg={self.agg.value} cannot use clear=lazy: hosts "
+                    f"cannot subtract a baseline in table-fp arithmetic")
 
     # ------------------------------------------------------------------
     @property
@@ -172,6 +234,8 @@ class RIPProgram:
     def describe(self) -> str:
         """One-line human summary, used in controller logs."""
         parts = [f"app={self.app_name}", f"precision={self.precision}"]
+        if self.agg is not AggOp.ADD:
+            parts.append(f"agg={self.agg.value}")
         if self.uses_get:
             parts.append(f"get={self.get_field}")
         if self.uses_add_to:

@@ -25,6 +25,7 @@ from typing import Optional, Tuple
 from repro.netsim import Counter
 from repro.obs.tracer import TRACE
 from repro.protocol import (
+    AggOp,
     ClearPolicy,
     ForwardTarget,
     Packet,
@@ -214,7 +215,28 @@ class RIPPipeline:
         if select:
             do_add = prog.uses_add_to and not retrans
             observe = stats.enabled or TRACE.enabled
-            if do_add and prog.uses_get and pkt.linear_base is not None:
+            agg = prog.agg
+            if agg is AggOp.FADD or agg is AggOp.FMAX:
+                # Table-fp aggregation: no fused kernel (the fp add is a
+                # multi-table pass of its own), so addTo then get, same
+                # two-pass order and sticky semantics as the integer path.
+                if do_add:
+                    if agg is AggOp.FADD:
+                        if regs.fadd_block(block, select, base):
+                            pkt.is_of = True
+                        if observe:
+                            self._observe_kernel(stats, select, "fadd", now)
+                    else:
+                        if regs.fmax_block(block, select, base):
+                            pkt.is_of = True
+                        if observe:
+                            self._observe_kernel(stats, select, "fmax", now)
+                if prog.uses_get:
+                    if regs.get_block(block, select, base):
+                        pkt.is_of = True
+                    if observe:
+                        self._observe_kernel(stats, select, "get", now)
+            elif do_add and prog.uses_get and pkt.linear_base is not None:
                 if regs.add_get_block(block, select, base):
                     pkt.is_of = True
                 if observe:
@@ -250,7 +272,9 @@ class RIPPipeline:
             # addresses, the Map.addTo above already incremented it (the
             # paper's §5.2.3: CntFwd rides the normal map-access pipeline);
             # only ClientID-style side counters need the extra add.
-            counted_by_add = prog.uses_add_to and \
+            # (Fp aggs never count via addTo: their kernels write fp
+            # encodings, not +1 increments, so the side counter is used.)
+            counted_by_add = prog.uses_add_to and not prog.agg.is_float and \
                 block.selected_contains(pkt.cnt_index, select)
             if not retrans and not counted_by_add:
                 regs.add(cnt_local, 1)

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Tuple
 
-from repro.protocol import INT32_MAX, INT32_MIN
+from repro.protocol import DEFAULT_FP_CODEC, INT32_MAX, INT32_MIN
 
 __all__ = ["RegisterFile", "StageLayout"]
 
@@ -136,6 +136,50 @@ class RegisterFile:
     def is_sticky(self, addr: int) -> bool:
         self._check(addr)
         return addr in self._sticky_overflow
+
+    # ------------------------------------------------------------------
+    # Table floating point (agg=fadd / agg=fmax).  Registers hold
+    # ordered fp encodings (see repro.protocol.fpcodec): 0 is +0.0, so a
+    # cleared register is the fp additive identity, and the encodings
+    # never reach INT32_MAX — the sticky-read sentinel stays unambiguous.
+    # Sticky/overflow semantics mirror the integer :meth:`add` exactly:
+    # on exponent overflow the stored value is preserved, the sticky bit
+    # set, and the packet replays through the server agent.
+    # ------------------------------------------------------------------
+    def fadd(self, addr: int, ordered: int, codec=DEFAULT_FP_CODEC) -> bool:
+        """Fp ``Map.addTo`` via the lookup-table add.  True on overflow."""
+        if addr < 0 or addr >= self.capacity:
+            self._check(addr)
+        if addr in self._sticky_overflow:
+            return True
+        values = self._values
+        result, overflowed = codec.add_bits(values.get(addr, 0), ordered)
+        if overflowed:
+            self._sticky_overflow.add(addr)
+            return True
+        if result:
+            values[addr] = result
+        else:
+            values.pop(addr, None)
+        return False
+
+    def fmax(self, addr: int, ordered: int) -> bool:
+        """Fp ``Map.addTo`` with max combine: plain integer max on the
+        ordered encodings.  Cannot itself overflow, but adds to a sticky
+        register still report True (the replay contract)."""
+        if addr < 0 or addr >= self.capacity:
+            self._check(addr)
+        if addr in self._sticky_overflow:
+            return True
+        values = self._values
+        result = values.get(addr, 0)
+        if ordered > result:
+            result = ordered
+            if result:
+                values[addr] = result
+            else:
+                values.pop(addr, None)
+        return False
 
     # ------------------------------------------------------------------
     # Bulk kernels: the sanctioned batch API for the pipeline's fused
@@ -267,6 +311,74 @@ class RegisterFile:
                     else:
                         values.pop(local, None)
                         slot_values[index] = 0
+        return overflowed
+
+    def fadd_block(self, block, select: int, base: int = 0,
+                   codec=DEFAULT_FP_CODEC) -> bool:
+        """Batch fp ``Map.addTo``: one :meth:`fadd` per selected slot.
+
+        Mirrors :meth:`add_block` slot for slot — sticky/overflowing
+        slots get the ``INT32_MAX`` sentinel written back (never a valid
+        fp encoding), the return value drives the packet's ``is_of``.
+        """
+        addrs = block.addrs
+        slot_values = block.values
+        values = self._values
+        sticky = self._sticky_overflow
+        capacity = self.capacity
+        overflowed = False
+        get = values.get
+        add_bits = codec.add_bits
+        full = select == (1 << len(addrs)) - 1
+        for index, addr in enumerate(addrs):
+            if full or select >> index & 1:
+                local = addr - base
+                if 0 <= local < capacity:
+                    if sticky and local in sticky:
+                        slot_values[index] = INT32_MAX
+                        overflowed = True
+                        continue
+                    result, slot_of = add_bits(get(local, 0),
+                                               slot_values[index])
+                    if slot_of:
+                        sticky.add(local)
+                        slot_values[index] = INT32_MAX
+                        overflowed = True
+                    elif result:
+                        values[local] = result
+                    else:
+                        values.pop(local, None)
+        return overflowed
+
+    def fmax_block(self, block, select: int, base: int = 0) -> bool:
+        """Batch fp max-combine: integer max over ordered encodings.
+
+        Same sticky contract as :meth:`fadd_block`; the max itself can
+        never overflow, so only pre-existing sticky slots report.
+        """
+        addrs = block.addrs
+        slot_values = block.values
+        values = self._values
+        sticky = self._sticky_overflow
+        capacity = self.capacity
+        overflowed = False
+        get = values.get
+        full = select == (1 << len(addrs)) - 1
+        for index, addr in enumerate(addrs):
+            if full or select >> index & 1:
+                local = addr - base
+                if 0 <= local < capacity:
+                    if sticky and local in sticky:
+                        slot_values[index] = INT32_MAX
+                        overflowed = True
+                        continue
+                    ordered = slot_values[index]
+                    current = get(local, 0)
+                    if ordered > current:
+                        if ordered:
+                            values[local] = ordered
+                        else:
+                            values.pop(local, None)
         return overflowed
 
     def clear_block(self, addrs: Iterable[int], select: int = -1,

@@ -142,6 +142,28 @@ class NetRPCSwitch(PlainSwitch):
         overflowed = self.registers.add(local, delta)
         return self.registers.read_raw(local), overflowed
 
+    def ctrl_fadd(self, addr: int, ordered: int,
+                  codec=None) -> Tuple[int, bool]:
+        """Atomic control-plane table-fp add (agg=fadd recovery folds).
+
+        ``ordered`` is an fp ordered encoding; returns the stored
+        encoding plus the overflow flag, mirroring :meth:`ctrl_add`.
+        """
+        self.stats.add("ctrl_writes")
+        local = addr - self.phys_base
+        if codec is None:
+            overflowed = self.registers.fadd(local, ordered)
+        else:
+            overflowed = self.registers.fadd(local, ordered, codec)
+        return self.registers.read_raw(local), overflowed
+
+    def ctrl_fmax(self, addr: int, ordered: int) -> Tuple[int, bool]:
+        """Atomic control-plane fp max-combine (agg=fmax recovery folds)."""
+        self.stats.add("ctrl_writes")
+        local = addr - self.phys_base
+        overflowed = self.registers.fmax(local, ordered)
+        return self.registers.read_raw(local), overflowed
+
     def owns(self, addr: int) -> bool:
         """Whether a global physical address lives on this switch."""
         return 0 <= addr - self.phys_base < self.registers.capacity

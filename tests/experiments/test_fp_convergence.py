@@ -1,0 +1,98 @@
+"""Seeded convergence regression: fp/quantized INC vs exact reduction.
+
+Three contracts from DESIGN.md §4.8:
+
+1. the table-fp trajectory tracks the exact float64 host reduction
+   within the table-precision tolerance, round for round;
+2. a trajectory is a pure function of its seed — two runs are
+   bit-identical, and the sweep pool's worker count cannot leak into
+   the result (workers=1 vs workers=2 produce the same lists);
+3. importing and exercising the fp machinery leaves the integer
+   aggregation path byte-identical — the pre-existing golden pins
+   re-assert unchanged.
+"""
+
+import pytest
+
+from repro.experiments.exp_training import convergence_trajectory
+from repro.sweep import RunSpec, sweep_values
+
+from . import test_golden_determinism as golden
+
+pytestmark = pytest.mark.fpinc
+
+# Small-but-real: a 16-dim SGD job over the simulated rack per call.
+DIM = 16
+ROUNDS = 4
+SEED = 7
+
+
+def _curve(mode, **overrides):
+    kwargs = dict(mode=mode, workers=2, dim=DIM, rounds=ROUNDS, seed=SEED)
+    kwargs.update(overrides)
+    return convergence_trajectory(**kwargs)
+
+
+def test_fp_trajectory_tracks_exact_reduction():
+    exact = _curve("exact")
+    fp = _curve("fp")
+    assert len(fp) == len(exact) == ROUNDS + 1
+    for got, want in zip(fp, exact):
+        # 16-bit mantissa tables: relative error per round far below
+        # the gradient signal; 1e-3 relative is a loose ceiling.
+        assert got == pytest.approx(want, rel=1e-3, abs=1e-6)
+    # And the job actually converges.
+    assert fp[-1] < fp[0] / 2
+
+
+def test_quantized_modes_converge():
+    for mode in ("int8", "topk"):
+        curve = _curve(mode)
+        assert curve[-1] < curve[0], mode
+
+
+def test_trajectory_is_bit_identical_for_same_seed():
+    for mode in ("exact", "fp", "int8", "topk"):
+        assert _curve(mode) == _curve(mode), mode
+
+
+def test_trajectory_changes_with_seed():
+    assert _curve("fp") != _curve("fp", seed=SEED + 1)
+
+
+def test_sweep_worker_count_cannot_leak_into_trajectories():
+    """workers=1 (in-process serial) vs workers=2 (subprocess pool)
+    must produce bit-identical curves — the sweep determinism contract
+    extended to the convergence harness."""
+    specs = [RunSpec(
+        "repro.experiments.exp_training.convergence_trajectory",
+        {"mode": mode, "workers": 2, "dim": DIM, "rounds": ROUNDS,
+         "seed": SEED}, label=f"conv:{mode}")
+        for mode in ("exact", "fp")]
+    serial = sweep_values(specs, workers=1)
+    pooled = sweep_values(specs, workers=2)
+    assert serial == pooled
+
+
+def test_integer_golden_pins_survive_fp_machinery():
+    """The new ops are purely additive: with every fp/quantized module
+    imported (above), the integer-path golden snapshot re-asserts
+    byte-identically."""
+    run = golden._run_once()
+    assert run["goodput_gbps"] == golden.GOLDEN_GOODPUT_GBPS
+    assert run["final_time_s"] == golden.GOLDEN_FINAL_TIME_S
+    assert run["event_count"] == golden.GOLDEN_EVENT_COUNT
+    assert run["switch"] == golden.GOLDEN_SWITCH_STATS
+    assert run["client0"] == golden.GOLDEN_CLIENT0_STATS
+    assert run["server"] == golden.GOLDEN_SERVER_STATS
+
+
+def test_chaos_fingerprint_survives_fp_machinery():
+    from repro.control import build_rack
+    from repro.netsim import ChaosSchedule
+
+    dep = build_rack(2, 1, seed=7)
+    schedule = ChaosSchedule.random(11, dep, t0=1e-6, t1=5e-6,
+                                    n_link_faults=4, n_switch_reboots=1,
+                                    n_host_pauses=1)
+    assert schedule.fingerprint() == golden.GOLDEN_CHAOS_FINGERPRINT

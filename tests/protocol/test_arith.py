@@ -34,6 +34,11 @@ class TestSaturatingAdd:
         assert saturating_add(INT32_MAX - 1, 1) == (INT32_MAX, False)
         assert saturating_add(INT32_MIN + 1, -1) == (INT32_MIN, False)
 
+    def test_extreme_operand_pairs_saturate(self):
+        assert saturating_add(INT32_MIN, INT32_MIN) == (INT32_MIN, True)
+        assert saturating_add(INT32_MAX, INT32_MAX) == (INT32_MAX, True)
+        assert saturating_add(INT32_MIN, INT32_MAX) == (-1, False)
+
     @given(int32s, int32s)
     def test_result_always_in_range(self, a, b):
         result, _ = saturating_add(a, b)
@@ -110,6 +115,23 @@ class TestQuantizer:
             Quantizer(-1)
         with pytest.raises(ValueError):
             Quantizer(10)
+
+    def test_infinities_saturate_like_overflow(self):
+        # Audit fix: inf formerly leaked an OverflowError out of round().
+        for precision in (0, 4, 8):
+            q = Quantizer(precision)
+            assert q.encode(float("inf")) == (INT32_MAX, True)
+            assert q.encode(float("-inf")) == (INT32_MIN, True)
+
+    def test_nan_is_rejected_explicitly(self):
+        q = Quantizer(4)
+        with pytest.raises(ValueError, match="NaN"):
+            q.encode(float("nan"))
+
+    def test_values_at_exact_fixed_point_bounds(self):
+        q = Quantizer(0)
+        assert q.encode(float(INT32_MAX)) == (INT32_MAX, False)
+        assert q.encode(float(INT32_MIN)) == (INT32_MIN, False)
 
     @given(st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
            st.integers(min_value=0, max_value=5))
