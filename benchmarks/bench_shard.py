@@ -1,0 +1,62 @@
+"""Sharded co-simulation microbenchmarks (DESIGN.md §4.9).
+
+Two headline rates for the shard runner:
+
+* ``shard_sync_barriers_per_sec`` — how fast the conservative barrier
+  protocol turns rounds over.  A sparse workload on a 4-shard rack
+  fabric keeps per-round simulation work tiny, so the rate is dominated
+  by horizon computation, outbox draining, and message routing — the
+  per-barrier overhead every sharded run pays.
+* ``sharded_events_per_sec`` — end-to-end event throughput of a k=8
+  fat-tree scenario run through ``workers=1`` sharding, the number to
+  hold against the unsharded simulator's event rate (the protocol tax)
+  and to multiply by worker count on multi-core boxes.
+
+Both attach to ``extra_info`` so the conftest hook persists them into
+``BENCH_simcore.json``.  Assertions are loose sanity floors; regressions
+are judged across commits via the JSON artifacts.
+
+Run with:  pytest benchmarks/bench_shard.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+from repro.experiments.exp_fattree import build_scenario
+from repro.shard import run_sharded
+
+
+def drive_shard_barriers(seed: int = 0) -> dict:
+    """Barrier-dominated run: rack4 with the fast (sparse) workload."""
+    scenario, partition = build_scenario("rack4", fast=True, seed=seed)
+    result = run_sharded(scenario, partition=partition, workers=1)
+    return {
+        "shard_sync_barriers_per_sec": result.barriers_per_sec,
+        "shard_rounds": result.rounds,
+    }
+
+
+def drive_sharded_events(seed: int = 0, fast: bool = True) -> dict:
+    """Throughput-dominated run: the k=8 fat-tree rackscale scenario."""
+    scenario, partition = build_scenario("rackscale", fast=fast, seed=seed)
+    result = run_sharded(scenario, partition=partition, workers=1)
+    return {
+        "sharded_events_per_sec": result.events_per_sec,
+        "sharded_total_events": result.total_events,
+        "sharded_n_shards": result.n_shards,
+    }
+
+
+def test_shard_barrier_rate(benchmark):
+    result = benchmark.pedantic(drive_shard_barriers, rounds=3,
+                                iterations=1)
+    benchmark.extra_info.update(result)
+    assert result["shard_sync_barriers_per_sec"] > 50
+    assert result["shard_rounds"] > 10
+
+
+def test_sharded_event_rate(benchmark):
+    result = benchmark.pedantic(drive_sharded_events, rounds=3,
+                                iterations=1)
+    benchmark.extra_info.update(result)
+    assert result["sharded_events_per_sec"] > 5_000
+    assert result["sharded_total_events"] > 10_000

@@ -36,6 +36,7 @@ from time import perf_counter
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
+from bench_shard import drive_shard_barriers, drive_sharded_events
 from bench_simcore import (drive_aggregation, drive_cohort_drain,
                            drive_event_churn, drive_fp_kernels,
                            drive_kv_kernels, drive_link, drive_packet_copy,
@@ -203,6 +204,90 @@ def measure_sweep(fast: bool = False, workers: int = 4,
     return sweep
 
 
+def _pool_scheduler_stats(per_shard) -> dict:
+    """Sum the count-like keys across shards; recompute the ratios."""
+    pooled: dict = {}
+    for stats in per_shard:
+        for key, value in stats.items():
+            pooled[key] = pooled.get(key, 0) + value
+    drained = pooled.get("cohorts_drained", 0)
+    if drained:
+        pooled["avg_cohort_size"] = (pooled.get("events_scheduled", 0)
+                                     / drained)
+    created = pooled.get("cohorts_created", 0)
+    if created:
+        pooled["spill_rate"] = pooled.get("spill_rate", 0) / len(per_shard)
+    timers = pooled.get("timers_created", 0)
+    if timers:
+        pooled["cancelled_timer_ratio"] = (pooled.get("timers_cancelled", 0)
+                                           / timers)
+    return pooled
+
+
+def measure_shard(fast: bool = False, workers: int = 4) -> dict:
+    """Sharded co-simulation block: barrier rate, event throughput, and
+    the workers=1 vs workers=N wall speedup on the rack-scale fat tree.
+
+    The speedup A/B is only meaningful with real cores behind the
+    worker processes; on a single-CPU runner the parallel leg adds fork
+    and pipe overhead on top of the same serial compute, so the block
+    is marked ``"comparable": false`` and the speedup is recorded as
+    context, not as a regression signal.  Bit-identity between the two
+    legs is asserted unconditionally — it holds on any box.
+    """
+    from repro.experiments.exp_fattree import build_scenario
+    from repro.shard import run_sharded, run_unsharded, results_identical
+
+    scenario_name = "rack4" if fast else "rackscale"
+    scenario, partition = build_scenario(scenario_name, fast=fast, seed=0)
+
+    barriers = drive_shard_barriers()
+    throughput = drive_sharded_events(fast=True)
+
+    one = run_sharded(scenario, partition=partition, workers=1)
+    many = run_sharded(scenario, partition=partition, workers=workers)
+    if one.comparable_state() != many.comparable_state():
+        raise RuntimeError("sharded workers=1 vs workers=N runs diverge — "
+                           "deterministic merge broken")
+
+    reference = run_unsharded(scenario)
+    if not results_identical(one, reference):
+        raise RuntimeError("sharded run differs from single-simulator "
+                           "reference")
+
+    available_cpus = os.cpu_count() or 1
+    shard = {
+        "scenario": scenario_name,
+        "cpu_count": available_cpus,
+        "n_shards": one.n_shards,
+        "workers": workers,
+        "rounds": one.rounds,
+        "total_events": one.total_events,
+        "comparable": available_cpus > 1,
+        "workers_identical": True,
+        "results_identical_to_unsharded": True,
+        "shard_sync_barriers_per_sec": barriers[
+            "shard_sync_barriers_per_sec"],
+        "sharded_events_per_sec": throughput["sharded_events_per_sec"],
+        "workers1_wall_s": one.wall_s,
+        "workersN_wall_s": many.wall_s,
+        "shard_speedup_x": one.wall_s / many.wall_s if many.wall_s else 0.0,
+        "unsharded_wall_s": reference.wall_s,
+        "scheduler_stats_pooled": _pool_scheduler_stats(
+            one.scheduler_stats),
+        "scheduler_stats_per_shard": one.scheduler_stats,
+        "work_s_per_shard": one.work_s,
+        "barrier_wait_s_per_shard": many.barrier_wait_s,
+    }
+    print(f"shard ({scenario_name})   : "
+          f"{shard['shard_sync_barriers_per_sec']:10,.0f} barriers/s, "
+          f"{shard['sharded_events_per_sec']:12,.0f} events/s, "
+          f"w1 {one.wall_s:.2f}s -> w{workers} {many.wall_s:.2f}s "
+          f"({shard['shard_speedup_x']:.2f}x, {available_cpus} cpus"
+          f"{'' if shard['comparable'] else ', not comparable'})")
+    return shard
+
+
 def git_rev() -> str:
     try:
         return subprocess.run(
@@ -237,6 +322,11 @@ def main(argv=None) -> int:
                              "for the speedup A/B)")
     parser.add_argument("--no-sweep", action="store_true",
                         help="skip the sweep-engine speedup section")
+    parser.add_argument("--no-shard", action="store_true",
+                        help="skip the sharded co-simulation section")
+    parser.add_argument("--shard-workers", type=int, default=4,
+                        help="worker count for the shard speedup A/B "
+                             "(default: %(default)s)")
     parser.add_argument("--no-gate", action="store_true",
                         help="measure and record but never fail on the "
                              "raw_events_per_sec seed floor")
@@ -264,6 +354,10 @@ def main(argv=None) -> int:
         workers = args.workers if args.workers else max(default_workers(), 4)
         sweep = measure_sweep(fast=args.fast, workers=workers)
 
+    shard = None
+    if not args.no_shard:
+        shard = measure_shard(fast=args.fast, workers=args.shard_workers)
+
     payload = {
         "fast": args.fast,
         "results": results,
@@ -271,6 +365,8 @@ def main(argv=None) -> int:
     }
     if sweep is not None:
         payload["sweep"] = sweep
+    if shard is not None:
+        payload["shard"] = shard
     if args.fast:
         # Shrunken drivers: quoting a ratio against the full-scale
         # baseline would be proportionally meaningless, and a CI artifact
@@ -318,6 +414,7 @@ def main(argv=None) -> int:
         "workers": (sweep or {}).get("workers"),
         "results": results,
         "sweep": sweep,
+        "shard": shard,
     }
     append_history(Path(args.history), history_record)
     print(f"appended history to {args.history}")

@@ -1,0 +1,96 @@
+"""CI gate: sharded co-simulation determinism acceptance (§4.9).
+
+The contract the shard runner ships under: running a rack-scale
+scenario with ``REPRO_SHARD_WORKERS=2`` (fork-based worker processes)
+must be *bit-identical* to the ``workers=1`` in-process run — same
+per-flow records, same merged link counters, same per-shard event
+counts, same scheduler stats, same run fingerprint — and both must be
+results-identical to one ``Simulator`` executing the whole structure.
+A chaos variant repeats the check with intra-shard link faults armed,
+pinning the chaos-schedule fingerprint across worker counts too.
+
+Exits non-zero (with a diff summary) on any divergence.
+
+Usage:  PYTHONPATH=src python scripts/check_shard_acceptance.py [--fast]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.experiments.exp_fattree import build_scenario
+from repro.shard import (WORKERS_ENV, default_workers, results_identical,
+                         run_sharded, run_unsharded)
+
+
+def _diff(label: str, one: dict, two: dict) -> None:
+    keys = [k for k in one if one[k] != two.get(k)]
+    print(f"FAIL [{label}]: comparable_state diverges on {keys}",
+          file=sys.stderr)
+
+
+def check(scenario: str, fast: bool, chaos: bool,
+          workers: int) -> bool:
+    label = f"{scenario}{'+chaos' if chaos else ''}"
+    scenario_obj, partition = build_scenario(scenario, fast=fast, seed=0,
+                                             chaos=chaos)
+    one = run_sharded(scenario_obj, partition=partition, workers=1)
+    many = run_sharded(scenario_obj, partition=partition, workers=workers)
+
+    ok = True
+    state_one, state_many = one.comparable_state(), many.comparable_state()
+    if state_one != state_many:
+        _diff(label, state_one, state_many)
+        ok = False
+    if one.events_per_shard != many.events_per_shard:
+        print(f"FAIL [{label}]: event counts {one.events_per_shard} != "
+              f"{many.events_per_shard}", file=sys.stderr)
+        ok = False
+    if one.chaos_fingerprint != many.chaos_fingerprint:
+        print(f"FAIL [{label}]: chaos fingerprints differ",
+              file=sys.stderr)
+        ok = False
+
+    reference = run_unsharded(scenario_obj)
+    if not results_identical(one, reference):
+        print(f"FAIL [{label}]: sharded results != single-simulator "
+              f"reference", file=sys.stderr)
+        ok = False
+
+    if ok:
+        print(f"ok [{label}]: workers=1 == workers={many.workers} "
+              f"({one.n_shards} shards, {one.rounds} barriers, "
+              f"{one.total_events:,} events, fingerprint "
+              f"{one.fingerprint[:12]}…) == unsharded "
+              f"({reference.events:,} events)")
+    return ok
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    parser.add_argument("--fast", action="store_true",
+                        help="small workloads for CI smoke runs")
+    parser.add_argument("--scenario", default="rackscale",
+                        help="scenario family member for the clean run "
+                             "(default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    workers = default_workers()
+    if os.environ.get(WORKERS_ENV) is None:
+        workers = 2
+    print(f"shard acceptance: workers={workers} "
+          f"({WORKERS_ENV}={os.environ.get(WORKERS_ENV, 'unset')})")
+
+    ok = check(args.scenario, fast=args.fast, chaos=False, workers=workers)
+    ok &= check("rack4", fast=args.fast, chaos=True, workers=workers)
+    if not ok:
+        return 1
+    print("shard acceptance: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

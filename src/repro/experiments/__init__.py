@@ -8,6 +8,7 @@ from . import (
     exp_cache,
     exp_clear,
     exp_fairness,
+    exp_fattree,
     exp_loc,
     exp_loss,
     exp_micro,
@@ -27,7 +28,7 @@ from .common import (
 __all__ = [
     "exp_loc", "exp_training", "exp_paxos", "exp_micro", "exp_fairness",
     "exp_loss", "exp_overflow", "exp_clear", "exp_cache", "exp_multiapp",
-    "exp_twoswitch",
+    "exp_twoswitch", "exp_fattree",
     "run_sync_aggregation", "run_async_aggregation", "sync_chunk_latency",
     "voting_delay",
 ]

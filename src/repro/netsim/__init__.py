@@ -33,7 +33,16 @@ from .link import (
 from .node import Host, Node
 from .simulator import Process, SimulationError, Simulator, WallClockExceeded
 from .store import Store, StoreFull
-from .topology import Topology, chain, dumbbell, star
+from .topology import (
+    Topology,
+    chain,
+    dumbbell,
+    fat_tree,
+    fat_tree_structure,
+    multi_rack,
+    multi_rack_structure,
+    star,
+)
 from .trace import Counter, LatencyRecorder, RateMeter, TimeSeries, mean, percentile
 
 __all__ = [
@@ -47,6 +56,7 @@ __all__ = [
     "ChaosSchedule", "InvariantChecker",
     "Node", "Host",
     "Topology", "star", "dumbbell", "chain",
+    "multi_rack_structure", "fat_tree_structure", "multi_rack", "fat_tree",
     "Counter", "TimeSeries", "RateMeter", "LatencyRecorder",
     "mean", "percentile",
     "Calibration", "DEFAULT_CALIBRATION", "scaled",

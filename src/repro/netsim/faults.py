@@ -12,8 +12,9 @@ either produces a result bit-identical to the no-fault run or reports
 an explicit failure — never a silent wrong answer.
 
 Every random draw made on the data path comes from the simulator's own
-RNG, so a faulted run is exactly as reproducible as a lossy one: same
-seed, same schedule, same bits.  Schedule *generation* uses a separate
+RNG (or a pinned per-link stream — see :func:`fault_rng`), so a faulted
+run is exactly as reproducible as a lossy one: same seed, same
+schedule, same bits.  Schedule *generation* uses a separate
 ``random.Random(seed)`` so the schedule itself is a pure function of
 its seed and the topology, independent of simulation state — that is
 what :meth:`ChaosSchedule.fingerprint` pins across PRs.
@@ -88,6 +89,19 @@ class FaultModel(LossModel):
         return False
 
 
+def fault_rng(link: Link):
+    """The RNG a fault draw uses for ``link``.
+
+    By default the simulator's stream.  A harness that needs draw
+    sequences independent of global event interleaving (the sharded
+    runner: one simulator per shard, but the single-core reference run
+    interleaves all links through one stream) pins ``link.fault_rng``
+    to a dedicated per-link ``random.Random`` instead.
+    """
+    rng = getattr(link, "fault_rng", None)
+    return rng if rng is not None else link.sim.rng
+
+
 class Reorder(FaultModel):
     """Adds up to ``jitter_s`` of extra propagation delay per packet.
 
@@ -109,7 +123,7 @@ class Reorder(FaultModel):
         self.rate = rate
 
     def apply(self, packet: Any, link: Link) -> List[Tuple[float, Any]]:
-        rng = link.sim.rng
+        rng = fault_rng(link)
         if self.rate < 1.0 and rng.random() >= self.rate:
             return [(0.0, packet)]
         link.stats.add("reordered_pkts")
@@ -135,7 +149,7 @@ class Duplicate(FaultModel):
         self.rate = rate
 
     def apply(self, packet: Any, link: Link) -> List[Tuple[float, Any]]:
-        if link.sim.rng.random() >= self.rate:
+        if fault_rng(link).random() >= self.rate:
             return [(0.0, packet)]
         link.stats.add("dup_pkts")
         dup = packet.copy() if hasattr(packet, "copy") else packet
@@ -173,7 +187,7 @@ class Corrupt(FaultModel):
     GAID_FLIP_BIT = 1 << 20   # far above any allocated GAID
 
     def apply(self, packet: Any, link: Link) -> List[Tuple[float, Any]]:
-        if link.sim.rng.random() >= self.rate:
+        if fault_rng(link).random() >= self.rate:
             return [(0.0, packet)]
         link.stats.add("corrupt_pkts")
         if self.mode == "fcs" or not hasattr(packet, "gaid"):
@@ -224,7 +238,7 @@ class CompositeFault(FaultModel):
                         nxt.append((delay + extra, out))
             else:
                 for delay, pkt in deliveries:
-                    if model.drops(pkt, link.sim.rng):
+                    if model.drops(pkt, fault_rng(link)):
                         link.stats.add("wire_drops")
                     else:
                         nxt.append((delay, pkt))

@@ -3,28 +3,44 @@
 The builders are agnostic to node types — any :class:`~repro.netsim.node.Node`
 subclass works — so the same functions build NetRPC dataplanes and
 baseline dataplanes.  The paper's testbed is a dumbbell: two switches,
-four hosts on each side (§6.1).
+four hosts on each side (§6.1); the rack-scale builders (`multi_rack`,
+`fat_tree`) grow that shape to the fabrics the shard runner
+(:mod:`repro.shard`) partitions across cores.
+
+Each rack-scale builder has a pure *structure* companion
+(`multi_rack_structure`, `fat_tree_structure`) that returns only names,
+roles, rack labels, and edges — the shard partitioner consumes the
+structure without constructing live nodes, so worker processes can
+rebuild exactly their own shard.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .calibration import Calibration, DEFAULT_CALIBRATION
 from .link import Link, LossModel, duplex_link
 from .node import Node
 from .simulator import Simulator
 
-__all__ = ["Topology", "star", "dumbbell", "chain"]
+__all__ = ["Topology", "star", "dumbbell", "chain",
+           "multi_rack_structure", "fat_tree_structure",
+           "multi_rack", "fat_tree"]
 
 
 class Topology:
-    """A set of nodes plus a registry of the directed links between them."""
+    """A set of nodes plus a registry of the directed links between them.
+
+    ``rack_of`` maps node names to rack labels for builders that have a
+    rack notion (`multi_rack`, `fat_tree`); nodes of rack-less builders
+    simply do not appear in it.
+    """
 
     def __init__(self, sim: Simulator):
         self.sim = sim
         self.nodes: Dict[str, Node] = {}
         self.links: Dict[Tuple[str, str], Link] = {}
+        self.rack_of: Dict[str, str] = {}
 
     def add_node(self, node: Node) -> Node:
         if node.name in self.nodes:
@@ -111,3 +127,122 @@ def chain(sim: Simulator, nodes: Sequence[Node],
                      queue_capacity_pkts=cal.switch_queue_capacity_pkts,
                      ecn_threshold_pkts=cal.switch_ecn_threshold_pkts)
     return topo
+
+
+# ---------------------------------------------------------------------------
+# rack-scale structures
+# ---------------------------------------------------------------------------
+# A structure is ``(nodes, edges)``:
+#   nodes: list of (name, role, rack) with role in {"host", "switch"}
+#   edges: list of (a, b, tier) with tier in {"host", "fabric"} — the
+#          tier selects host-link vs switch-link calibration parameters.
+# Both lists are emitted in a fixed deterministic order (hosts of rack 0,
+# then its switch, then rack 1, ... then the spine/core tier), so every
+# consumer — live builders, the shard partitioner, worker processes —
+# sees identical orderings.
+
+Structure = Tuple[List[Tuple[str, str, str]], List[Tuple[str, str, str]]]
+
+
+def multi_rack_structure(n_racks: int, hosts_per_rack: int,
+                         n_spines: int = 1) -> Structure:
+    """Racks of hosts behind a ToR each, every ToR uplinked to every
+    spine (a leaf-spine fabric).  Rack labels: ``rack0``.. for the ToR
+    and its hosts, ``spine`` for the spine tier."""
+    if n_racks < 1 or hosts_per_rack < 1 or n_spines < 1:
+        raise ValueError("need >= 1 rack, host per rack, and spine")
+    nodes: List[Tuple[str, str, str]] = []
+    edges: List[Tuple[str, str, str]] = []
+    spines = [f"spine{s}" for s in range(n_spines)]
+    for r in range(n_racks):
+        rack = f"rack{r}"
+        tor = f"tor{r}"
+        for h in range(hosts_per_rack):
+            host = f"r{r}h{h}"
+            nodes.append((host, "host", rack))
+            edges.append((host, tor, "host"))
+        nodes.append((tor, "switch", rack))
+        for spine in spines:
+            edges.append((tor, spine, "fabric"))
+    for spine in spines:
+        nodes.append((spine, "switch", "spine"))
+    return nodes, edges
+
+
+def fat_tree_structure(k: int) -> Structure:
+    """Classic k-ary fat-tree: k pods of k/2 edge + k/2 aggregation
+    switches, (k/2)^2 cores, k/2 hosts per edge switch.  Rack labels:
+    ``pod0``.. for everything inside a pod, ``core`` for the core tier.
+    """
+    if k < 2 or k % 2:
+        raise ValueError(f"fat-tree arity must be even and >= 2, got {k}")
+    half = k // 2
+    nodes: List[Tuple[str, str, str]] = []
+    edges: List[Tuple[str, str, str]] = []
+    for p in range(k):
+        rack = f"pod{p}"
+        for e in range(half):
+            edge_sw = f"p{p}e{e}"
+            for h in range(half):
+                host = f"p{p}e{e}h{h}"
+                nodes.append((host, "host", rack))
+                edges.append((host, edge_sw, "host"))
+            nodes.append((edge_sw, "switch", rack))
+        for a in range(half):
+            agg = f"p{p}a{a}"
+            nodes.append((agg, "switch", rack))
+            for e in range(half):
+                edges.append((f"p{p}e{e}", agg, "fabric"))
+    for c in range(half * half):
+        core = f"core{c}"
+        nodes.append((core, "switch", "core"))
+    # Aggregation switch a of every pod connects to cores
+    # [a*k/2, (a+1)*k/2) — the standard fat-tree core wiring.
+    for p in range(k):
+        for a in range(half):
+            for c in range(a * half, (a + 1) * half):
+                edges.append((f"p{p}a{a}", f"core{c}", "fabric"))
+    return nodes, edges
+
+
+def _build_structure(sim: Simulator, structure: Structure,
+                     host_factory: Callable[[Simulator, str], Node],
+                     switch_factory: Callable[[Simulator, str], Node],
+                     cal: Calibration,
+                     loss: Optional[LossModel]) -> Topology:
+    nodes, edges = structure
+    topo = Topology(sim)
+    for name, role, rack in nodes:
+        factory = host_factory if role == "host" else switch_factory
+        topo.add_node(factory(sim, name))
+        topo.rack_of[name] = rack
+    for a, b, tier in edges:
+        delay = (cal.host_link_delay_s if tier == "host"
+                 else cal.switch_link_delay_s)
+        topo.connect(topo.nodes[a], topo.nodes[b],
+                     cal.link_bandwidth_bps, delay, loss=loss,
+                     queue_capacity_pkts=cal.switch_queue_capacity_pkts,
+                     ecn_threshold_pkts=cal.switch_ecn_threshold_pkts)
+    return topo
+
+
+def multi_rack(sim: Simulator, n_racks: int, hosts_per_rack: int,
+               host_factory: Callable[[Simulator, str], Node],
+               switch_factory: Callable[[Simulator, str], Node],
+               n_spines: int = 1,
+               cal: Calibration = DEFAULT_CALIBRATION,
+               loss: Optional[LossModel] = None) -> Topology:
+    """Build a live leaf-spine fabric (see :func:`multi_rack_structure`)."""
+    return _build_structure(
+        sim, multi_rack_structure(n_racks, hosts_per_rack, n_spines),
+        host_factory, switch_factory, cal, loss)
+
+
+def fat_tree(sim: Simulator, k: int,
+             host_factory: Callable[[Simulator, str], Node],
+             switch_factory: Callable[[Simulator, str], Node],
+             cal: Calibration = DEFAULT_CALIBRATION,
+             loss: Optional[LossModel] = None) -> Topology:
+    """Build a live k-ary fat-tree (see :func:`fat_tree_structure`)."""
+    return _build_structure(sim, fat_tree_structure(k), host_factory,
+                            switch_factory, cal, loss)

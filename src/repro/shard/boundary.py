@@ -1,0 +1,209 @@
+"""Boundary stubs for links that cross shard boundaries.
+
+Every cut link becomes a pair: a :class:`ShardEgressLink` in the
+sender's shard and an :class:`IngressBridge` in the receiver's shard.
+The egress half keeps the *entire* transmitter model — drop-tail queue
+occupancy, ECN marking, serialization timing — and emits finished
+``(deliver_time, packet)`` records into an outbox instead of scheduling
+local delivery events.  The ingress half replays those records with
+``schedule_at``, so the receiver sees deliveries at the very same
+float timestamps a same-simulator :class:`~repro.netsim.link.Link`
+would have produced.
+
+Timing identity is load-bearing and pinned by a differential test
+(``tests/shard/test_boundary.py``): the serialization expressions below
+must stay *byte-identical* to ``Link``'s three paths —
+
+* idle transmitter:   ``free = now + (size + OH) * 8.0 / bandwidth``
+* queued packet:      same expression evaluated at ``now == _free_at``
+* batched backlog:    ``free = free + (size + OH) * 8.0 / bandwidth``
+
+all of which reduce to the single accumulation used here, with the
+serialization start parked in the virtual-occupancy deque exactly as
+``Link._drain_batch`` does.  Lookahead comes for free: the record for a
+packet is known at serialization-*scheduling* time, a full propagation
+delay before its delivery, so the barrier protocol always has
+``delay_s`` of safe horizon per channel.
+
+Lossy/faulted cut links (rare; the chaos generator avoids them) fall
+back to ``Link``'s legacy two-event path so loss draws still happen at
+serialization end against this shard's RNG — only the final delivery
+scheduling is redirected into the outbox.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from repro.netsim.link import ETHERNET_OVERHEAD_BYTES, Link
+from repro.netsim.simulator import Simulator
+from repro.netsim.trace import Counter
+from repro.obs.tracer import TRACE
+
+__all__ = ["RemoteNode", "ShardEgressLink", "IngressBridge"]
+
+
+class RemoteNode:
+    """Placeholder ``dst`` for an egress link whose receiver lives in
+    another shard.  It must never receive anything locally."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def receive(self, packet: Any, link: Any) -> None:
+        raise AssertionError(
+            f"packet delivered locally to remote node {self.name!r}; "
+            f"boundary egress must route through the outbox")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<RemoteNode {self.name}>"
+
+
+class ShardEgressLink(Link):
+    """Sender half of a cut link: a full transmitter, no local delivery.
+
+    ``outbox`` accumulates ``(deliver_time, packet)`` in emission order;
+    the shard runner drains it at every barrier.  Counter split across
+    the cut: this side counts ``offered_pkts``/``queue_drops``/
+    ``ecn_marks``/``sent_pkts``/``sent_bytes`` (and ``wire_drops`` on
+    the lossy path); the matching :class:`IngressBridge` counts
+    ``delivered_pkts``.  Summing the two halves reproduces the counters
+    a same-simulator ``Link`` reports.
+    """
+
+    def __init__(self, sim: Simulator, src: Any, dst_name: str,
+                 bandwidth_bps: float, delay_s: float, **kwargs):
+        if delay_s <= 0.0:
+            raise ValueError(
+                f"boundary link to {dst_name!r} needs positive delay "
+                f"(it is the channel lookahead), got {delay_s!r}")
+        super().__init__(sim, src, RemoteNode(dst_name), bandwidth_bps,
+                         delay_s, **kwargs)
+        self.outbox: List[Tuple[float, Any]] = []
+
+    def send(self, packet: Any) -> bool:
+        if not self._fused:
+            # Lossy path: Link's legacy two-event machinery runs
+            # unchanged; only _tx_done (below) diverts deliveries.
+            return super().send(packet)
+        stats = self.stats
+        if stats.enabled:
+            counts = stats._counts
+            try:
+                counts["offered_pkts"] += 1
+            except KeyError:
+                counts["offered_pkts"] = 1
+        now = self.sim.now
+        starts = self._virtual_starts
+        while starts and starts[0] <= now:
+            starts.popleft()
+        qlen = len(starts)
+        if qlen >= self.queue_capacity_pkts:
+            stats.add("queue_drops")
+            if TRACE.enabled:
+                TRACE.instant("link.drop", now, self.name, ("queue",))
+            return False
+        if qlen >= self.ecn_threshold_pkts and hasattr(packet, "ecn"):
+            packet.ecn = True
+            stats.add("ecn_marks")
+            if TRACE.enabled:
+                TRACE.instant("link.ecn", now, self.name)
+        free_at = self._free_at
+        start = free_at if free_at > now else now
+        size = getattr(packet, "_size", None) or packet.size_bytes
+        free = start + (size + ETHERNET_OVERHEAD_BYTES) * 8.0 \
+            / self.bandwidth_bps
+        self._free_at = free
+        if start > now:
+            # A queued packet occupies the queue until its serialization
+            # start passes — same convention as Link._drain_batch, and
+            # the same "start <= now means popped" tie-breaking.
+            starts.append(start)
+        if stats.enabled:
+            counts = stats._counts
+            try:
+                counts["sent_pkts"] += 1
+            except KeyError:
+                counts["sent_pkts"] = 1
+            try:
+                counts["sent_bytes"] += size
+            except KeyError:
+                counts["sent_bytes"] = size
+        self.outbox.append((free + self.delay_s, packet))
+        if TRACE.enabled:
+            TRACE.record("link.serialize", start, free, self.name)
+            TRACE.record("link.propagate", free, free + self.delay_s,
+                         self.name)
+        return True
+
+    # -- legacy (lossy) path: divert deliveries into the outbox --------
+    def _tx_done(self, packet: Any) -> None:
+        self.stats.add("sent_pkts")
+        self.stats.add("sent_bytes", packet.size_bytes)
+        now = self.sim.now
+        plan = getattr(self._loss, "plan", None)
+        if plan is not None:
+            deliveries = list(plan(packet, self))
+            if TRACE.enabled and not deliveries:
+                TRACE.instant("link.drop", now, self.name, ("wire",))
+            for extra, out in deliveries:
+                self.outbox.append((now + self.delay_s + extra, out))
+                if TRACE.enabled:
+                    TRACE.record("link.propagate", now,
+                                 now + self.delay_s + extra, self.name)
+        elif self._loss.drops(packet, self.sim.rng):
+            self.stats.add("wire_drops")
+            if TRACE.enabled:
+                TRACE.instant("link.drop", now, self.name, ("wire",))
+        else:
+            self.outbox.append((now + self.delay_s, packet))
+            if TRACE.enabled:
+                TRACE.record("link.propagate", now, now + self.delay_s,
+                             self.name)
+        self._transmit_next()
+
+    def _deliver_fused(self, packet: Any) -> None:  # pragma: no cover
+        raise AssertionError("egress stub must never deliver locally")
+
+    def _deliver(self, packet: Any) -> None:  # pragma: no cover
+        raise AssertionError("egress stub must never deliver locally")
+
+
+class IngressBridge:
+    """Receiver half of a cut link: replays boundary deliveries.
+
+    Quacks enough like a :class:`~repro.netsim.link.Link` (``name``,
+    ``src``/``dst``, ``delay_s``, ``stats``) for receive handlers that
+    inspect their ingress link.  ``inject`` is called by the shard
+    runner at a barrier, always with ``when`` strictly ahead of this
+    shard's clock — the conservative bound guarantees it, and
+    ``schedule_at`` enforces it.
+    """
+
+    def __init__(self, sim: Simulator, dst: Any, src_name: str,
+                 bandwidth_bps: float, delay_s: float):
+        self.sim = sim
+        self.src = RemoteNode(src_name)
+        self.dst = dst
+        self.bandwidth_bps = bandwidth_bps
+        self.delay_s = delay_s
+        self.name = f"{src_name}->{getattr(dst, 'name', dst)}"
+        self.stats = Counter()
+
+    def inject(self, when: float, packet: Any) -> None:
+        self.sim.schedule_at(when, self._deliver, packet)
+
+    def _deliver(self, packet: Any) -> None:
+        stats = self.stats
+        if stats.enabled:
+            counts = stats._counts
+            try:
+                counts["delivered_pkts"] += 1
+            except KeyError:
+                counts["delivered_pkts"] = 1
+        self.dst.receive(packet, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<IngressBridge {self.name}>"

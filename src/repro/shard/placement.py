@@ -1,0 +1,82 @@
+"""Control-plane placement relative to a shard decomposition.
+
+The NetRPC controller configures its switches with same-simulator
+method calls (register writes over the simulated PCIe path, reboot
+failover, timeout polling) — there is no message-passing boundary to
+cut.  A sharded deployment therefore has to keep every switch a
+controller manages inside one shard, and the controller lives there
+with them.  :func:`plan_control_placement` checks that constraint
+against a :class:`~repro.shard.partition.Partition` and either returns
+the shard each control group lands on or the affinity sets that would
+repair a split (feed them back as ``partition_structure(together=...)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from .partition import Partition, PartitionError
+
+__all__ = ["ControlPlacement", "plan_control_placement"]
+
+
+@dataclass(frozen=True)
+class ControlPlacement:
+    """Where each control group runs, or how to fix it if it cannot."""
+
+    shard_of_controller: Tuple[Tuple[str, int], ...]
+    split_controllers: Tuple[Tuple[str, Tuple[str, ...]], ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.split_controllers
+
+    def repair_affinities(self, rack_of: Mapping[str, str]
+                          ) -> Tuple[Tuple[str, ...], ...]:
+        """Affinity sets (rack labels) that co-locate each split
+        controller's switches; pass to ``partition_structure``."""
+        out: List[Tuple[str, ...]] = []
+        for _name, switches in self.split_controllers:
+            racks = []
+            for switch in switches:
+                rack = rack_of[switch]
+                if rack not in racks:
+                    racks.append(rack)
+            out.append(tuple(racks))
+        return tuple(out)
+
+
+def plan_control_placement(partition: Partition,
+                           controllers: Mapping[str, Sequence[str]],
+                           strict: bool = False) -> ControlPlacement:
+    """Map each controller (name -> managed switch names, e.g. from
+    ``Controller.managed_switch_names()``) onto the shard holding its
+    switches.  ``strict=True`` raises on any split controller."""
+    shard_of = partition.shard_map()
+    placed: List[Tuple[str, int]] = []
+    split: List[Tuple[str, Tuple[str, ...]]] = []
+    for name in sorted(controllers):
+        switches = list(controllers[name])
+        if not switches:
+            raise PartitionError(f"controller {name!r} manages no "
+                                 f"switches")
+        shards = []
+        for switch in switches:
+            if switch not in shard_of:
+                raise PartitionError(f"controller {name!r} manages "
+                                     f"unknown switch {switch!r}")
+            shard = shard_of[switch]
+            if shard not in shards:
+                shards.append(shard)
+        if len(shards) == 1:
+            placed.append((name, shards[0]))
+        else:
+            split.append((name, tuple(switches)))
+    placement = ControlPlacement(tuple(placed), tuple(split))
+    if strict and not placement.ok:
+        names = ", ".join(name for name, _sw in placement.split_controllers)
+        raise PartitionError(
+            f"controller(s) {names} manage switches in multiple shards; "
+            f"co-locate their racks via partition_structure(together=...)")
+    return placement

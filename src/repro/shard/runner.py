@@ -1,0 +1,561 @@
+"""Conservative time-synced execution of a partitioned fabric.
+
+The protocol is bulk-synchronous null-message style (SimBricks' fixed
+link-latency synchronization, specialized to rounds):
+
+* The coordinator holds each shard's clock.  Every round it computes a
+  per-shard *safe horizon*: the minimum over in-channels of the sending
+  shard's clock plus the channel lookahead (the cut links' propagation
+  delay), capped at the run's ``until``.  No sender can emit a boundary
+  delivery below its own clock, and every boundary delivery lands at
+  least one propagation delay after its emission — so no shard ever
+  receives an event in its past (the proof is spelled out in DESIGN.md
+  §4.9).
+* Each shard injects the messages the previous round produced, runs to
+  its horizon, and drains its egress outboxes.  Messages and horizons
+  are exchanged over multiprocessing pipes (``workers>1``) or plain
+  calls (``workers=1`` — no subprocess, byte-identical by construction
+  since the protocol itself never branches on the worker count).
+* When a whole round moves no messages, the shard clocks jump on the
+  shards' *next-event times* instead (every report doubles as a null
+  message): with nothing in flight, a neighbor cannot act before its
+  own next event, so quiet phases cost one barrier instead of
+  ``gap / lookahead`` of them.
+
+Determinism: shard decomposition, per-shard seeds, channel order, and
+injection order are all pure functions of ``(scenario, partition)``;
+rounds are lockstep; merges walk sorted shard then sorted channel
+order.  Hence ``workers=N`` is byte-identical to ``workers=1`` — same
+per-shard event counts, same scheduler stats, same fingerprints — and
+lossless scenarios are result-identical to the unsharded single
+simulator (see ``results_identical``).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+import random
+import zlib
+from dataclasses import dataclass, field
+from hashlib import sha256
+from multiprocessing import get_context
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.netsim import CompositeFault, NoLoss, Simulator
+from repro.netsim.faults import LinkFault
+
+from .fabric import ShardFabric, build_fabric, compute_routes
+from .partition import Partition, PartitionError, partition_structure
+from .spec import ShardScenario
+
+__all__ = ["WORKERS_ENV", "default_workers", "ShardRunResult",
+           "UnshardedRunResult", "run_sharded", "run_unsharded",
+           "results_identical"]
+
+WORKERS_ENV = "REPRO_SHARD_WORKERS"
+
+# Messages on a channel: (cut_link_name, deliver_time, packet).
+_Message = Tuple[str, float, Any]
+
+
+def default_workers() -> int:
+    env = os.environ.get(WORKERS_ENV)
+    if env:
+        return max(1, int(env))
+    return os.cpu_count() or 1
+
+
+def _shard_seed(seed: int, shard_id: int) -> int:
+    # Distinct per-shard streams, pure function of (seed, shard).  The
+    # RNG only feeds loss/fault draws, which are intra-shard by policy.
+    return (seed * 1_000_003 + shard_id + 1) & 0x7FFFFFFF
+
+
+def _fingerprint(flows: Dict[int, Tuple[int, int, float, float]],
+                 links: Dict[str, Dict[str, float]]) -> str:
+    """SHA-256 over repr-exact per-flow records and link counters —
+    stable across processes, byte-sensitive to any timing change."""
+    lines: List[str] = []
+    for flow_id in sorted(flows):
+        pkts, nbytes, first, last = flows[flow_id]
+        lines.append(f"flow {flow_id} pkts={pkts} bytes={nbytes} "
+                     f"first={float(first).hex()} "
+                     f"last={float(last).hex()}")
+    for name in sorted(links):
+        counters = links[name]
+        body = " ".join(f"{key}={counters[key]!r}"
+                        for key in sorted(counters))
+        lines.append(f"link {name} {body}")
+    return sha256("\n".join(lines).encode()).hexdigest()
+
+
+def _install_chaos(fabric: ShardFabric, scenario: ShardScenario,
+                   shard_of: Optional[Dict[str, int]]) -> None:
+    """Arm the scenario's link faults on the links this fabric owns.
+
+    Only :class:`LinkFault` events are meaningful on the flow fabric,
+    and every fault must be intra-shard — the boundary lookahead assumes
+    un-jittered cut links, and cross-shard RNG draws would break the
+    single-stream determinism story.
+    """
+    if scenario.chaos is None:
+        return
+    by_link: Dict[Tuple[str, str], List[LinkFault]] = {}
+    for event in scenario.chaos.events:
+        if not isinstance(event, LinkFault):
+            raise PartitionError(
+                f"shard fabric chaos supports link faults only, got "
+                f"{type(event).__name__}")
+        if shard_of is not None and \
+                shard_of[event.src] != shard_of[event.dst]:
+            raise PartitionError(
+                f"chaos fault on cut link {event.src}->{event.dst}; "
+                f"boundary links must stay lossless (they carry the "
+                f"conservative lookahead)")
+        by_link.setdefault((event.src, event.dst), []).append(event)
+    for key, specs in by_link.items():
+        link = fabric.topo.links.get(key)
+        if link is None:
+            continue                    # owned by another shard
+        models = []
+        if type(link.loss) is not NoLoss:
+            models.append(link.loss)
+        models.extend(spec.build() for spec in specs)
+        link.loss = CompositeFault(models)
+        # Per-link draw stream, a pure function of (scenario seed, link
+        # name): the single-simulator reference interleaves every
+        # faulted link through one global RNG, a sharded run cannot —
+        # pinning one stream per link makes both draw identically.
+        link.fault_rng = random.Random(
+            (scenario.seed * 1_000_003
+             + zlib.crc32(f"{key[0]}->{key[1]}".encode())) & 0x7FFFFFFF)
+
+
+class _ShardWorker:
+    """One shard's live state plus its round step; used verbatim by the
+    in-process pool and inside subprocess workers."""
+
+    def __init__(self, scenario: ShardScenario, partition: Partition,
+                 shard_id: int, routes=None,
+                 profile_path: Optional[str] = None):
+        self.shard_id = shard_id
+        self.sim = Simulator(seed=_shard_seed(scenario.seed, shard_id))
+        shard_map = partition.shard_map()
+        self.fabric = build_fabric(
+            self.sim, scenario.structure, cal=scenario.cal,
+            partition=partition, shard_id=shard_id, routes=routes)
+        _install_chaos(self.fabric, scenario, shard_map)
+        self.fabric.install_workload(scenario.flows)
+        self.work_s = 0.0
+        self.profile_path = profile_path
+        self._profiler = cProfile.Profile() if profile_path else None
+
+    def run_round(self, horizon: float, inbound: List[_Message]
+                  ) -> Tuple[List[_Message], float]:
+        start = perf_counter()
+        profiler = self._profiler
+        if profiler is not None:
+            profiler.enable()
+        try:
+            ingress = self.fabric.ingress
+            for link_name, when, packet in inbound:
+                ingress[link_name].inject(when, packet)
+            self.sim.run(until=horizon)
+            out: List[_Message] = []
+            egress = self.fabric.egress
+            for name in self.fabric.egress_names:
+                outbox = egress[name].outbox
+                if outbox:
+                    out.extend((name, when, packet)
+                               for when, packet in outbox)
+                    outbox.clear()
+        finally:
+            if profiler is not None:
+                profiler.disable()
+        self.work_s += perf_counter() - start
+        return out, self.sim.peek()
+
+    def finish(self) -> Dict[str, Any]:
+        if self._profiler is not None:
+            self._profiler.dump_stats(self.profile_path)
+        return {
+            "flows": self.fabric.flow_results(),
+            "links": self.fabric.link_results(),
+            "clock": self.sim.now,
+            "events": self.sim._sequence,
+            "scheduler_stats": self.sim.scheduler_stats(),
+            "work_s": self.work_s,
+            "profile": self.profile_path,
+        }
+
+
+# ---------------------------------------------------------------------------
+# worker pools
+# ---------------------------------------------------------------------------
+class _InProcessPool:
+    """``workers=1``: every shard lives in this process — no subprocess,
+    no pickling, same protocol."""
+
+    def __init__(self, scenario, partition, profile_for):
+        routes = compute_routes(scenario.structure)
+        self.workers = {
+            sid: _ShardWorker(scenario, partition, sid, routes=routes,
+                              profile_path=profile_for(sid))
+            for sid in range(partition.n_shards)}
+
+    def run_round(self, horizons, inbound):
+        return {sid: self.workers[sid].run_round(horizons[sid],
+                                                 inbound.get(sid, []))
+                for sid in sorted(self.workers)}
+
+    def finish(self):
+        payloads = {sid: worker.finish()
+                    for sid, worker in sorted(self.workers.items())}
+        for payload in payloads.values():
+            payload["barrier_wait_s"] = 0.0
+        return payloads
+
+    def close(self):
+        pass
+
+
+def _subprocess_main(conn, scenario, partition, shard_ids,
+                     profile_paths) -> None:
+    try:
+        routes = compute_routes(scenario.structure)
+        workers = {sid: _ShardWorker(scenario, partition, sid,
+                                     routes=routes,
+                                     profile_path=profile_paths.get(sid))
+                   for sid in shard_ids}
+        conn.send(("ready", None))
+        barrier_wait = 0.0
+        while True:
+            wait_start = perf_counter()
+            command, payload = conn.recv()
+            barrier_wait += perf_counter() - wait_start
+            if command == "round":
+                out = {sid: workers[sid].run_round(*payload[sid])
+                       for sid in sorted(payload)}
+                conn.send(("round", out))
+            elif command == "finish":
+                results = {}
+                for sid, worker in sorted(workers.items()):
+                    result = worker.finish()
+                    result["barrier_wait_s"] = barrier_wait
+                    results[sid] = result
+                conn.send(("finish", results))
+                return
+            else:  # pragma: no cover - protocol guard
+                raise RuntimeError(f"unknown command {command!r}")
+    except Exception as exc:  # pragma: no cover - crash reporting
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+        raise
+
+
+class _SubprocessPool:
+    """``workers>1``: shards spread round-robin over forked workers,
+    coordinated over one duplex pipe per worker.
+
+    The strict send-all / recv-all alternation cannot deadlock: a
+    worker blocked sending a large round result has a parent that will
+    reach its ``recv``, and the parent only sends the next command
+    after draining every worker's previous reply.
+    """
+
+    def __init__(self, scenario, partition, n_workers, profile_for):
+        ctx = get_context("fork")
+        self.owner = {sid: sid % n_workers
+                      for sid in range(partition.n_shards)}
+        self.conns = []
+        self.procs = []
+        for w in range(n_workers):
+            mine = [sid for sid, owner in self.owner.items() if owner == w]
+            parent_conn, child_conn = ctx.Pipe()
+            profile_paths = {sid: profile_for(sid) for sid in mine}
+            proc = ctx.Process(
+                target=_subprocess_main,
+                args=(child_conn, scenario, partition, mine,
+                      profile_paths),
+                daemon=True)
+            proc.start()
+            child_conn.close()
+            self.conns.append(parent_conn)
+            self.procs.append(proc)
+        for conn in self.conns:
+            self._expect(conn, "ready")
+
+    @staticmethod
+    def _expect(conn, kind):
+        tag, payload = conn.recv()
+        if tag == "error":
+            raise RuntimeError(f"shard worker failed: {payload}")
+        if tag != kind:  # pragma: no cover - protocol guard
+            raise RuntimeError(f"expected {kind!r}, got {tag!r}")
+        return payload
+
+    def run_round(self, horizons, inbound):
+        for w, conn in enumerate(self.conns):
+            payload = {sid: (horizons[sid], inbound.get(sid, []))
+                       for sid, owner in self.owner.items() if owner == w}
+            conn.send(("round", payload))
+        merged = {}
+        for conn in self.conns:
+            merged.update(self._expect(conn, "round"))
+        return merged
+
+    def finish(self):
+        for conn in self.conns:
+            conn.send(("finish", None))
+        merged = {}
+        for conn in self.conns:
+            merged.update(self._expect(conn, "finish"))
+        return merged
+
+    def close(self):
+        for conn in self.conns:
+            conn.close()
+        for proc in self.procs:
+            proc.join(timeout=30)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+
+
+# ---------------------------------------------------------------------------
+# results
+# ---------------------------------------------------------------------------
+@dataclass
+class ShardRunResult:
+    """Merged outcome of a sharded run plus its sync accounting."""
+
+    flows: Dict[int, Tuple[int, int, float, float]]
+    link_stats: Dict[str, Dict[str, float]]
+    fingerprint: str
+    chaos_fingerprint: Optional[str]
+    n_shards: int
+    workers: int
+    rounds: int
+    until: float
+    shard_clocks: List[float]
+    events_per_shard: List[int]
+    scheduler_stats: List[Dict[str, float]]
+    work_s: List[float]
+    barrier_wait_s: List[float]
+    wall_s: float
+    profiles: List[Optional[str]] = field(default_factory=list)
+
+    @property
+    def total_events(self) -> int:
+        return sum(self.events_per_shard)
+
+    @property
+    def barriers_per_sec(self) -> float:
+        return self.rounds / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.total_events / self.wall_s if self.wall_s > 0 else 0.0
+
+    def comparable_state(self) -> Dict[str, Any]:
+        """Everything that must be byte-identical across worker counts:
+        results, fingerprints, per-shard event totals and scheduler
+        stats, the barrier count, and the final clocks — all wall-time
+        accounting excluded."""
+        return {
+            "flows": self.flows,
+            "link_stats": self.link_stats,
+            "fingerprint": self.fingerprint,
+            "chaos_fingerprint": self.chaos_fingerprint,
+            "n_shards": self.n_shards,
+            "rounds": self.rounds,
+            "shard_clocks": self.shard_clocks,
+            "events_per_shard": self.events_per_shard,
+            "scheduler_stats": self.scheduler_stats,
+        }
+
+
+@dataclass
+class UnshardedRunResult:
+    """Reference single-simulator run of the same scenario."""
+
+    flows: Dict[int, Tuple[int, int, float, float]]
+    link_stats: Dict[str, Dict[str, float]]
+    fingerprint: str
+    clock: float
+    events: int
+    scheduler_stats: Dict[str, float]
+    wall_s: float
+
+
+def results_identical(sharded: ShardRunResult,
+                      unsharded: UnshardedRunResult) -> bool:
+    """Result-level equality: same per-flow records, same (merged) link
+    counters, same fingerprint.  Event *counts* are not compared here —
+    the boundary stubs restructure events across simulators by design;
+    count equality is asserted between worker counts instead."""
+    return (sharded.flows == unsharded.flows
+            and sharded.link_stats == unsharded.link_stats
+            and sharded.fingerprint == unsharded.fingerprint)
+
+
+# ---------------------------------------------------------------------------
+# drivers
+# ---------------------------------------------------------------------------
+def _coordinate(pool, partition: Partition, until: float
+                ) -> Tuple[int, int]:
+    """Run rounds until every clock reaches ``until`` and a full round
+    moves no messages.  Returns (rounds, messages_relayed)."""
+    n = partition.n_shards
+    in_channels: Dict[int, List[Tuple[int, float]]] = {
+        sid: [] for sid in range(n)}
+    for (src_shard, dst_shard), bound in partition.lookahead:
+        in_channels[dst_shard].append((src_shard, bound))
+    link_dst_shard = {cut.name: cut.dst_shard
+                      for cut in partition.cut_links}
+
+    channel_bounds = [(src, dst, la)
+                      for (src, dst), la in partition.lookahead]
+
+    clocks = [0.0] * n
+    peeks = [0.0] * n
+    quiescent = False
+    pending: Dict[int, List[_Message]] = {}
+    rounds = 0
+    relayed = 0
+    while True:
+        if quiescent:
+            # Quiescent rounds promote each report to a null message:
+            # with nothing in flight, shard s cannot act before its own
+            # next event *or* a chain of cross-shard wakeups reaching
+            # it — so relax the peek bounds over the channel graph
+            # (Bellman-Ford; all lookaheads are positive) before using
+            # them.  The single-hop bound alone is unsound here: a
+            # two-hop chain q -> s -> r can wake s below its local peek.
+            earliest = list(peeks)
+            for _ in range(n):
+                changed = False
+                for src, dst, la in channel_bounds:
+                    relaxed = earliest[src] + la
+                    if relaxed < earliest[dst]:
+                        earliest[dst] = relaxed
+                        changed = True
+                if not changed:
+                    break
+            bases = earliest
+        else:
+            bases = clocks
+        horizons: List[float] = []
+        for sid in range(n):
+            bound = until
+            for src, la in in_channels[sid]:
+                if bases[src] + la < bound:
+                    bound = bases[src] + la
+            horizons.append(max(bound, clocks[sid]))
+        results = pool.run_round(horizons, pending)
+        rounds += 1
+        clocks = horizons
+        pending = {}
+        moved = 0
+        for sid in sorted(results):
+            messages, peek = results[sid]
+            peeks[sid] = peek
+            for message in messages:
+                pending.setdefault(link_dst_shard[message[0]],
+                                   []).append(message)
+                moved += 1
+        relayed += moved
+        quiescent = moved == 0
+        if quiescent and all(clock >= until for clock in clocks):
+            return rounds, relayed
+
+
+def run_sharded(scenario: ShardScenario,
+                partition: Optional[Partition] = None,
+                n_shards: Optional[int] = None,
+                workers: Optional[int] = None,
+                profile_dir: Optional[str] = None) -> ShardRunResult:
+    """Execute ``scenario`` sharded; ``workers=1`` stays in-process."""
+    if partition is None:
+        if n_shards is None:
+            raise ValueError("pass a partition or n_shards")
+        partition = partition_structure(scenario.structure, n_shards,
+                                        cal=scenario.cal)
+    if workers is None:
+        workers = default_workers()
+    workers = max(1, min(workers, partition.n_shards))
+
+    def profile_for(sid: int) -> Optional[str]:
+        if profile_dir is None:
+            return None
+        os.makedirs(profile_dir, exist_ok=True)
+        return os.path.join(profile_dir, f"shard{sid}.prof")
+
+    start = perf_counter()
+    if workers == 1:
+        pool = _InProcessPool(scenario, partition, profile_for)
+    else:
+        pool = _SubprocessPool(scenario, partition, workers, profile_for)
+    try:
+        rounds, _relayed = _coordinate(pool, partition, scenario.until)
+        payloads = pool.finish()
+    finally:
+        pool.close()
+    wall = perf_counter() - start
+
+    flows: Dict[int, Tuple[int, int, float, float]] = {}
+    links: Dict[str, Dict[str, float]] = {}
+    for sid in sorted(payloads):
+        payload = payloads[sid]
+        flows.update(payload["flows"])
+        for name, counters in payload["links"].items():
+            # Cut links report one half from each side; key-wise sums
+            # reproduce the unsharded link's counters.
+            if name in links:
+                merged = links[name]
+                for key, value in counters.items():
+                    merged[key] = merged.get(key, 0) + value
+            else:
+                links[name] = dict(counters)
+
+    ordered = [payloads[sid] for sid in range(partition.n_shards)]
+    return ShardRunResult(
+        flows=flows,
+        link_stats=links,
+        fingerprint=_fingerprint(flows, links),
+        chaos_fingerprint=scenario.chaos_fingerprint(),
+        n_shards=partition.n_shards,
+        workers=workers,
+        rounds=rounds,
+        until=scenario.until,
+        shard_clocks=[p["clock"] for p in ordered],
+        events_per_shard=[p["events"] for p in ordered],
+        scheduler_stats=[p["scheduler_stats"] for p in ordered],
+        work_s=[p["work_s"] for p in ordered],
+        barrier_wait_s=[p["barrier_wait_s"] for p in ordered],
+        wall_s=wall,
+        profiles=[p.get("profile") for p in ordered])
+
+
+def run_unsharded(scenario: ShardScenario) -> UnshardedRunResult:
+    """The reference run: whole structure, one simulator, one core."""
+    start = perf_counter()
+    sim = Simulator(seed=scenario.seed)
+    fabric = build_fabric(sim, scenario.structure, cal=scenario.cal)
+    _install_chaos(fabric, scenario, shard_of=None)
+    fabric.install_workload(scenario.flows)
+    sim.run(until=scenario.until)
+    wall = perf_counter() - start
+    flows = fabric.flow_results()
+    links = fabric.link_results()
+    return UnshardedRunResult(
+        flows=flows,
+        link_stats=links,
+        fingerprint=_fingerprint(flows, links),
+        clock=sim.now,
+        events=sim._sequence,
+        scheduler_stats=sim.scheduler_stats(),
+        wall_s=wall)

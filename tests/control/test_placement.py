@@ -1,0 +1,66 @@
+"""Controller placement against a shard decomposition.
+
+The controller talks to its switches with same-simulator calls, so a
+shard plan must keep each controller's switches (as reported by the
+real ``Controller.managed_switch_names()``) inside one shard — or
+report the affinity sets that would repair the split.
+"""
+
+import pytest
+
+from repro.control import build_chain
+from repro.netsim import scaled
+from repro.shard import (PartitionError, partition_structure,
+                         plan_control_placement)
+
+CAL = scaled(switch_link_delay_s=10e-6)
+
+# A structure whose switch names match build_chain's sw0/sw1 chain,
+# with the two switches deliberately placed in different racks.
+NODES = [("h0", "host", "rackA"), ("sw0", "switch", "rackA"),
+         ("h1", "host", "rackB"), ("sw1", "switch", "rackB")]
+EDGES = [("h0", "sw0", "host"), ("sw0", "sw1", "fabric"),
+         ("h1", "sw1", "host")]
+STRUCTURE = (NODES, EDGES)
+
+
+def _managed():
+    deployment = build_chain(2, 1, 1)
+    names = deployment.controller.managed_switch_names()
+    assert names == ("sw0", "sw1")
+    return {"ctrl": names}
+
+
+def test_split_controller_detected_and_repaired():
+    controllers = _managed()
+    split = partition_structure(STRUCTURE, 2, cal=CAL)
+    placement = plan_control_placement(split, controllers)
+    assert not placement.ok
+    assert placement.split_controllers == (("ctrl", ("sw0", "sw1")),)
+
+    rack_of = {name: rack for name, _role, rack in NODES}
+    affinities = placement.repair_affinities(rack_of)
+    assert affinities == (("rackA", "rackB"),)
+
+    repaired = partition_structure(STRUCTURE, 2, cal=CAL,
+                                   together=affinities)
+    placement2 = plan_control_placement(repaired, controllers)
+    assert placement2.ok
+    shard = dict(placement2.shard_of_controller)["ctrl"]
+    shard_of = repaired.shard_map()
+    assert shard_of["sw0"] == shard_of["sw1"] == shard
+
+
+def test_strict_mode_raises_on_split():
+    controllers = _managed()
+    split = partition_structure(STRUCTURE, 2, cal=CAL)
+    with pytest.raises(PartitionError):
+        plan_control_placement(split, controllers, strict=True)
+
+
+def test_unknown_switch_rejected():
+    part = partition_structure(STRUCTURE, 1, cal=CAL)
+    with pytest.raises(PartitionError):
+        plan_control_placement(part, {"ctrl": ("nope",)})
+    with pytest.raises(PartitionError):
+        plan_control_placement(part, {"ctrl": ()})

@@ -1,0 +1,51 @@
+"""workers=1 vs workers=N bit-identity, plus the golden fingerprint pin.
+
+The in-process pool and the fork-based subprocess pool run the *same*
+barrier protocol over the *same* per-shard simulators, so everything
+except wall-clock accounting must be byte-identical — flows, link
+counters, fingerprints, per-shard event totals, scheduler stats, final
+clocks, barrier count.  The golden pin freezes the rack2 fingerprint:
+any change to link timing, ECMP hashing, workload synthesis, or the
+barrier protocol that shifts a single float breaks it loudly.
+"""
+
+from repro.experiments.exp_fattree import build_scenario
+from repro.shard import run_sharded
+
+GOLDEN_RACK2_SEED0 = ("ba0e525fc616d000efca5108dc577b86"
+                      "1104181a249066257795bc2fca474f2c")
+GOLDEN_RACK2_SEED0_CHAOS = ("1ab833084b41e8164761f97fe637dde1"
+                            "204cedb4eedcddbef81ac0f1da90f93d")
+
+
+def test_workers_equivalence_rack4():
+    scenario_obj, partition = build_scenario("rack4", fast=True, seed=1)
+    one = run_sharded(scenario_obj, partition=partition, workers=1)
+    two = run_sharded(scenario_obj, partition=partition, workers=2)
+    assert one.comparable_state() == two.comparable_state()
+    assert one.workers == 1 and two.workers == 2
+
+
+def test_workers_equivalence_under_chaos():
+    scenario_obj, partition = build_scenario("rack4", fast=True, seed=1,
+                                             chaos=True)
+    one = run_sharded(scenario_obj, partition=partition, workers=1)
+    two = run_sharded(scenario_obj, partition=partition, workers=2)
+    assert one.comparable_state() == two.comparable_state()
+    assert one.chaos_fingerprint == two.chaos_fingerprint
+    assert one.chaos_fingerprint is not None
+
+
+def test_golden_fingerprint_rack2():
+    scenario_obj, partition = build_scenario("rack2", fast=True, seed=0)
+    result = run_sharded(scenario_obj, partition=partition, workers=1)
+    assert result.fingerprint == GOLDEN_RACK2_SEED0
+    assert result.events_per_shard == [526, 459]
+    assert result.rounds == 51
+
+
+def test_golden_fingerprint_rack2_chaos():
+    scenario_obj, partition = build_scenario("rack2", fast=True, seed=0,
+                                             chaos=True)
+    result = run_sharded(scenario_obj, partition=partition, workers=1)
+    assert result.fingerprint == GOLDEN_RACK2_SEED0_CHAOS

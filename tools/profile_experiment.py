@@ -76,6 +76,55 @@ def _print_scheduler_stats(sims: list) -> None:
           f"cancelled-timer ratio)")
 
 
+def profile_sharded(name: str, run, kwargs: dict, args) -> int:
+    """Profile a sharded experiment: one cProfile per shard worker.
+
+    Requires a ``run()`` that accepts ``workers=`` and ``profile_dir=``
+    (the ``exp_fattree`` scenario family).  Each shard's simulation
+    work — and only that work; barrier waits and pipe traffic are
+    outside the profiled region — lands in ``DIR/shard<N>.prof``, and
+    the per-shard work vs barrier-wait breakdown shows where the wall
+    time actually went.
+    """
+    profile_dir = Path(args.profile_dir)
+    profile_dir.mkdir(parents=True, exist_ok=True)
+    start = perf_counter()
+    result = run(**{**kwargs, "workers": args.shards,
+                    "profile_dir": str(profile_dir)})
+    wall = perf_counter() - start
+
+    print(result["table"])
+    pooled = {}
+    peak_spill = 0
+    for stats in result["scheduler_stats"]:
+        peak_spill = max(peak_spill, stats["peak_spill_depth"])
+        for key in ("events_scheduled", "cohorts_created",
+                    "cohorts_drained", "timers_created",
+                    "timers_cancelled"):
+            pooled[key] = pooled.get(key, 0) + stats[key]
+    events = pooled["events_scheduled"]
+    cohorts = pooled["cohorts_created"]
+    print(f"pooled scheduler  : {len(result['scheduler_stats'])} shard "
+          f"simulator(s), {events:,} events in {cohorts:,} cohorts "
+          f"(avg {events / cohorts if cohorts else 0.0:.2f}/bucket, "
+          f"peak spill {peak_spill:,})")
+    print(f"run               : {result['rounds']} barriers, "
+          f"{result['total_events']:,} events, "
+          f"{result['events_per_sec']:,.0f} events/s, "
+          f"{result['barriers_per_sec']:,.0f} barriers/s, "
+          f"{wall:.2f}s wall (includes profiler overhead)")
+
+    missing = 0
+    for dump in sorted(profile_dir.glob("shard*.prof")):
+        print(f"\n=== {dump} ===")
+        stats = pstats.Stats(str(dump), stream=sys.stdout)
+        stats.sort_stats(args.sort).print_stats(args.top)
+    if not any(profile_dir.glob("shard*.prof")):
+        missing = 1
+        print(f"no shard profiles written under {profile_dir}/")
+    return missing
+
+
 def profile_single(name: str, run, kwargs: dict, args) -> None:
     from repro.netsim.simulator import track_simulators
 
@@ -173,6 +222,12 @@ def main(argv=None) -> int:
     parser.add_argument("--dump", default=None, metavar="PATH",
                         help="also save raw stats for pstats/snakeviz "
                              "(single-run mode)")
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="sharded mode: run the experiment through "
+                             "N shard workers, dumping one cProfile per "
+                             "shard into --profile-dir plus the barrier-"
+                             "wait breakdown (run() must accept workers= "
+                             "and profile_dir=, e.g. exp_fattree)")
     parser.add_argument("--sweep", default=None, metavar="JSON",
                         help="JSON list of kwargs overlays; profile the "
                              "whole grid through the sweep engine")
@@ -206,6 +261,11 @@ def main(argv=None) -> int:
         kwargs = json.loads(args.kwargs)
     except ValueError as exc:
         parser.error(f"--kwargs must be a JSON object: {exc}")
+
+    if args.shards is not None:
+        if args.sweep is not None or args.trace:
+            parser.error("--shards is exclusive with --sweep/--trace")
+        return profile_sharded(name, run, kwargs, args)
 
     if args.sweep is not None:
         try:
