@@ -1,16 +1,20 @@
-"""Sharded co-simulation microbenchmarks (DESIGN.md §4.9).
+"""Sharded co-simulation microbenchmarks (DESIGN.md §4.9–4.10).
 
 Two headline rates for the shard runner:
 
 * ``shard_sync_barriers_per_sec`` — how fast the conservative barrier
   protocol turns rounds over.  A sparse workload on a 4-shard rack
   fabric keeps per-round simulation work tiny, so the rate is dominated
-  by horizon computation, outbox draining, and message routing — the
-  per-barrier overhead every sharded run pays.
+  by horizon computation, outbox draining, and frame routing — the
+  per-barrier overhead every sharded run pays.  Adaptive multi-round
+  horizons also shrink the *number* of rounds this scenario needs;
+  ``shard_horizon_rounds_skipped`` records how many.
 * ``sharded_events_per_sec`` — end-to-end event throughput of a k=8
-  fat-tree scenario run through ``workers=1`` sharding, the number to
-  hold against the unsharded simulator's event rate (the protocol tax)
-  and to multiply by worker count on multi-core boxes.
+  fat-tree scenario sharded across ``workers = n_shards`` processes
+  over the zero-copy shm transport when the box has the cores for it
+  (``workers=1`` in-process otherwise — this container has one core).
+  ``sharded_workers``/``sharded_transport`` in the JSON artifact say
+  which configuration produced the number.
 
 Both attach to ``extra_info`` so the conftest hook persists them into
 ``BENCH_simcore.json``.  Assertions are loose sanity floors; regressions
@@ -21,8 +25,18 @@ Run with:  pytest benchmarks/bench_shard.py --benchmark-only
 
 from __future__ import annotations
 
+import os
+
 from repro.experiments.exp_fattree import build_scenario
 from repro.shard import run_sharded
+
+
+def _bench_workers(n_shards: int) -> int:
+    """workers = n_shards when the box can host one shard per core;
+    the single-core fallback keeps the benchmark meaningful (and the
+    artifact's ``comparable`` flag honest) everywhere else."""
+    cores = os.cpu_count() or 1
+    return n_shards if cores >= n_shards else 1
 
 
 def drive_shard_barriers(seed: int = 0) -> dict:
@@ -32,17 +46,24 @@ def drive_shard_barriers(seed: int = 0) -> dict:
     return {
         "shard_sync_barriers_per_sec": result.barriers_per_sec,
         "shard_rounds": result.rounds,
+        "shard_horizon_rounds_skipped": result.horizon_rounds_skipped,
     }
 
 
 def drive_sharded_events(seed: int = 0, fast: bool = True) -> dict:
-    """Throughput-dominated run: the k=8 fat-tree rackscale scenario."""
+    """Throughput run: the k=8 fat-tree rackscale scenario, parallel
+    over shm when the core count allows."""
     scenario, partition = build_scenario("rackscale", fast=fast, seed=seed)
-    result = run_sharded(scenario, partition=partition, workers=1)
+    workers = _bench_workers(partition.n_shards)
+    result = run_sharded(scenario, partition=partition, workers=workers)
     return {
         "sharded_events_per_sec": result.events_per_sec,
         "sharded_total_events": result.total_events,
         "sharded_n_shards": result.n_shards,
+        "sharded_workers": result.workers,
+        "sharded_transport": result.transport,
+        "sharded_bytes_per_round": result.bytes_per_round,
+        "sharded_frames_sent": result.frames_sent,
     }
 
 

@@ -224,31 +224,50 @@ def _pool_scheduler_stats(per_shard) -> dict:
     return pooled
 
 
-def measure_shard(fast: bool = False, workers: int = 4) -> dict:
+def measure_shard(fast: bool = False, workers: int | None = None) -> dict:
     """Sharded co-simulation block: barrier rate, event throughput, and
     the workers=1 vs workers=N wall speedup on the rack-scale fat tree.
 
-    The speedup A/B is only meaningful with real cores behind the
-    worker processes; on a single-CPU runner the parallel leg adds fork
-    and pipe overhead on top of the same serial compute, so the block
-    is marked ``"comparable": false`` and the speedup is recorded as
-    context, not as a regression signal.  Bit-identity between the two
-    legs is asserted unconditionally — it holds on any box.
+    ``workers`` defaults to one process per shard — the configuration
+    the 4x transport target is stated against.  The speedup A/B is only
+    meaningful with real cores behind the worker processes; on a
+    single-CPU runner the parallel leg adds fork overhead on top of the
+    same serial compute, so the block is marked ``"comparable": false``
+    and the speedup is recorded as context, not as a regression signal.
+    Bit-identity is asserted unconditionally and across *both*
+    transports (shm and the pickled-pipe fallback) — it holds on any
+    box.  Transport telemetry (logical frame bytes per barrier, frames,
+    adaptive-horizon round savings) comes from the workers=1 leg; it is
+    byte-identical across legs by construction.
+
+    Per-shard barrier waits come from the parallel leg's per-shard idle
+    accounting (time between one shard's round work ending and its next
+    round starting, measured inside the worker) — with more shards than
+    workers, co-resident shards legitimately show similar but not
+    duplicated waits.
     """
     from repro.experiments.exp_fattree import build_scenario
     from repro.shard import run_sharded, run_unsharded, results_identical
 
     scenario_name = "rack4" if fast else "rackscale"
     scenario, partition = build_scenario(scenario_name, fast=fast, seed=0)
+    if workers is None:
+        workers = partition.n_shards
 
     barriers = drive_shard_barriers()
     throughput = drive_sharded_events(fast=True)
 
     one = run_sharded(scenario, partition=partition, workers=1)
-    many = run_sharded(scenario, partition=partition, workers=workers)
+    many = run_sharded(scenario, partition=partition, workers=workers,
+                       transport="shm")
+    piped = run_sharded(scenario, partition=partition, workers=workers,
+                        transport="pipe")
     if one.comparable_state() != many.comparable_state():
         raise RuntimeError("sharded workers=1 vs workers=N runs diverge — "
                            "deterministic merge broken")
+    if many.comparable_state() != piped.comparable_state():
+        raise RuntimeError("shm vs pipe transports diverge — zero-copy "
+                           "codec path changed results")
 
     reference = run_unsharded(scenario)
     if not results_identical(one, reference):
@@ -263,14 +282,26 @@ def measure_shard(fast: bool = False, workers: int = 4) -> dict:
         "workers": workers,
         "rounds": one.rounds,
         "total_events": one.total_events,
-        "comparable": available_cpus > 1,
+        "comparable": available_cpus >= workers,
         "workers_identical": True,
+        "transports_identical": True,
         "results_identical_to_unsharded": True,
+        "transport": many.transport,
         "shard_sync_barriers_per_sec": barriers[
             "shard_sync_barriers_per_sec"],
         "sharded_events_per_sec": throughput["sharded_events_per_sec"],
+        "sharded_workers": throughput["sharded_workers"],
+        "sharded_transport": throughput["sharded_transport"],
+        "bytes_per_round": one.bytes_per_round,
+        "frames_sent": one.frames_sent,
+        "transport_bytes": one.transport_bytes,
+        "messages_relayed": one.messages_relayed,
+        "barriers_per_sim_sec": one.barriers_per_sim_sec,
+        "horizon_rounds_skipped": one.horizon_rounds_skipped,
+        "shm_spills": many.shm_spills,
         "workers1_wall_s": one.wall_s,
         "workersN_wall_s": many.wall_s,
+        "workersN_pipe_wall_s": piped.wall_s,
         "shard_speedup_x": one.wall_s / many.wall_s if many.wall_s else 0.0,
         "unsharded_wall_s": reference.wall_s,
         "scheduler_stats_pooled": _pool_scheduler_stats(
@@ -282,9 +313,12 @@ def measure_shard(fast: bool = False, workers: int = 4) -> dict:
     print(f"shard ({scenario_name})   : "
           f"{shard['shard_sync_barriers_per_sec']:10,.0f} barriers/s, "
           f"{shard['sharded_events_per_sec']:12,.0f} events/s, "
-          f"w1 {one.wall_s:.2f}s -> w{workers} {many.wall_s:.2f}s "
+          f"w1 {one.wall_s:.2f}s -> w{workers}/{many.transport} "
+          f"{many.wall_s:.2f}s "
           f"({shard['shard_speedup_x']:.2f}x, {available_cpus} cpus"
-          f"{'' if shard['comparable'] else ', not comparable'})")
+          f"{'' if shard['comparable'] else ', not comparable'}), "
+          f"{shard['bytes_per_round']:.0f} B/round, "
+          f"{one.horizon_rounds_skipped} horizon rounds skipped")
     return shard
 
 
@@ -324,9 +358,9 @@ def main(argv=None) -> int:
                         help="skip the sweep-engine speedup section")
     parser.add_argument("--no-shard", action="store_true",
                         help="skip the sharded co-simulation section")
-    parser.add_argument("--shard-workers", type=int, default=4,
+    parser.add_argument("--shard-workers", type=int, default=None,
                         help="worker count for the shard speedup A/B "
-                             "(default: %(default)s)")
+                             "(default: one per shard)")
     parser.add_argument("--no-gate", action="store_true",
                         help="measure and record but never fail on the "
                              "raw_events_per_sec seed floor")

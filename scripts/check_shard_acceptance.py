@@ -6,8 +6,11 @@ must be *bit-identical* to the ``workers=1`` in-process run — same
 per-flow records, same merged link counters, same per-shard event
 counts, same scheduler stats, same run fingerprint — and both must be
 results-identical to one ``Simulator`` executing the whole structure.
-A chaos variant repeats the check with intra-shard link faults armed,
-pinning the chaos-schedule fingerprint across worker counts too.
+The multi-worker leg runs once per transport — zero-copy shared-memory
+frames and the pickled-pipe fallback — so the fixed-width codec and the
+shm slots are themselves pinned to change nothing.  A chaos variant
+repeats the check with intra-shard link faults armed, pinning the
+chaos-schedule fingerprint across worker counts too.
 
 Exits non-zero (with a diff summary) on any divergence.
 
@@ -37,21 +40,25 @@ def check(scenario: str, fast: bool, chaos: bool,
     scenario_obj, partition = build_scenario(scenario, fast=fast, seed=0,
                                              chaos=chaos)
     one = run_sharded(scenario_obj, partition=partition, workers=1)
-    many = run_sharded(scenario_obj, partition=partition, workers=workers)
 
     ok = True
-    state_one, state_many = one.comparable_state(), many.comparable_state()
-    if state_one != state_many:
-        _diff(label, state_one, state_many)
-        ok = False
-    if one.events_per_shard != many.events_per_shard:
-        print(f"FAIL [{label}]: event counts {one.events_per_shard} != "
-              f"{many.events_per_shard}", file=sys.stderr)
-        ok = False
-    if one.chaos_fingerprint != many.chaos_fingerprint:
-        print(f"FAIL [{label}]: chaos fingerprints differ",
-              file=sys.stderr)
-        ok = False
+    state_one = one.comparable_state()
+    for transport in ("shm", "pipe"):
+        many = run_sharded(scenario_obj, partition=partition,
+                           workers=workers, transport=transport)
+        state_many = many.comparable_state()
+        if state_one != state_many:
+            _diff(f"{label}/{many.transport}", state_one, state_many)
+            ok = False
+        if one.events_per_shard != many.events_per_shard:
+            print(f"FAIL [{label}/{many.transport}]: event counts "
+                  f"{one.events_per_shard} != {many.events_per_shard}",
+                  file=sys.stderr)
+            ok = False
+        if one.chaos_fingerprint != many.chaos_fingerprint:
+            print(f"FAIL [{label}/{many.transport}]: chaos fingerprints "
+                  f"differ", file=sys.stderr)
+            ok = False
 
     reference = run_unsharded(scenario_obj)
     if not results_identical(one, reference):
@@ -60,9 +67,10 @@ def check(scenario: str, fast: bool, chaos: bool,
         ok = False
 
     if ok:
-        print(f"ok [{label}]: workers=1 == workers={many.workers} "
-              f"({one.n_shards} shards, {one.rounds} barriers, "
-              f"{one.total_events:,} events, fingerprint "
+        print(f"ok [{label}]: workers=1 == workers={workers} over "
+              f"shm and pipe ({one.n_shards} shards, {one.rounds} "
+              f"barriers, {one.horizon_rounds_skipped} horizon rounds "
+              f"skipped, {one.total_events:,} events, fingerprint "
               f"{one.fingerprint[:12]}…) == unsharded "
               f"({reference.events:,} events)")
     return ok

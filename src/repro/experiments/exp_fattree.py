@@ -137,6 +137,14 @@ def run(scenario: str = "rack4", fast: bool = True, seed: int = 0,
         "wall_s": result.wall_s,
         "events_per_sec": result.events_per_sec,
         "barriers_per_sec": result.barriers_per_sec,
+        "transport": result.transport,
+        "messages_relayed": result.messages_relayed,
+        "frames_sent": result.frames_sent,
+        "transport_bytes": result.transport_bytes,
+        "bytes_per_round": result.bytes_per_round,
+        "barriers_per_sim_sec": result.barriers_per_sim_sec,
+        "horizon_rounds_skipped": result.horizon_rounds_skipped,
+        "shm_spills": result.shm_spills,
         "scheduler_stats": result.scheduler_stats,
         "table": table,
     }

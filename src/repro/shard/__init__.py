@@ -1,14 +1,18 @@
-"""Sharded multi-core co-simulation (DESIGN.md §4.9).
+"""Sharded multi-core co-simulation (DESIGN.md §4.9–4.10).
 
 Partition a topology at link boundaries into per-rack
 :class:`~repro.netsim.simulator.Simulator` instances, run them in
-parallel worker processes, and exchange cross-shard packets under a
-conservative lookahead equal to each cut link's propagation delay.
-``workers=1`` runs the identical protocol in-process;
-``workers=N`` is byte-identical to it.
+parallel worker processes, and exchange cross-shard packets under
+adaptive conservative horizons derived from each cut link's
+propagation delay.  Boundary traffic rides zero-copy shared-memory
+frames packed by a fixed-width codec (``REPRO_SHARD_TRANSPORT=pipe``
+selects the pickled-pipe fallback).  ``workers=1`` runs the identical
+protocol in-process; ``workers=N`` is byte-identical to it under
+either transport.
 """
 
 from .boundary import IngressBridge, RemoteNode, ShardEgressLink
+from .codec import CodecTables, decode_frame, encode_frame, frame_nbytes
 from .fabric import (FabricHost, FabricSwitch, FlowPacket, ShardFabric,
                      build_fabric, compute_routes)
 from .partition import (CutLink, Partition, PartitionError,
@@ -19,6 +23,8 @@ from .runner import (ShardRunResult, UnshardedRunResult, WORKERS_ENV,
                      run_unsharded)
 from .spec import (FlowSpec, ShardScenario, rack_chaos_schedule,
                    synth_workload)
+from .transport import (ShmChannelBus, TRANSPORT_ENV, TRANSPORTS,
+                        default_transport)
 
 __all__ = [
     "FlowSpec", "ShardScenario", "synth_workload", "rack_chaos_schedule",
@@ -30,4 +36,6 @@ __all__ = [
     "WORKERS_ENV", "default_workers", "ShardRunResult",
     "UnshardedRunResult", "run_sharded", "run_unsharded",
     "results_identical",
+    "CodecTables", "encode_frame", "decode_frame", "frame_nbytes",
+    "TRANSPORT_ENV", "TRANSPORTS", "default_transport", "ShmChannelBus",
 ]

@@ -82,6 +82,9 @@ class ShardEgressLink(Link):
         super().__init__(sim, src, RemoteNode(dst_name), bandwidth_bps,
                          delay_s, **kwargs)
         self.outbox: List[Tuple[float, Any]] = []
+        # The receiving shard, set by build_fabric; lets the runner
+        # group drained records into one frame per (channel, round).
+        self.dst_shard: int = -1
 
     def send(self, packet: Any) -> bool:
         if not self._fused:

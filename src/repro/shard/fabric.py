@@ -203,6 +203,32 @@ class ShardFabric:
             installed += 1
         return installed
 
+    # -- boundary draining ---------------------------------------------
+    def drain_boundary(self) -> Dict[int, List[Tuple[str, float, Any]]]:
+        """Drain every egress outbox into per-destination-shard message
+        groups — exactly one group per directed channel this shard fed
+        this round, each a frame's payload for the transport layer.
+
+        Order is load-bearing: outboxes are walked in sorted link-name
+        order (``egress_names``) and each keeps emission order, so a
+        group's record sequence is identical no matter which pool or
+        transport carries it — that is what keeps ``workers=1`` and
+        ``workers=N`` injections byte-identical.
+        """
+        out: Dict[int, List[Tuple[str, float, Any]]] = {}
+        egress = self.egress
+        for name in self.egress_names:
+            link = egress[name]
+            outbox = link.outbox
+            if outbox:
+                group = out.get(link.dst_shard)
+                if group is None:
+                    group = out[link.dst_shard] = []
+                group.extend((name, when, packet)
+                             for when, packet in outbox)
+                outbox.clear()
+        return out
+
     # -- results --------------------------------------------------------
     def flow_results(self) -> Dict[int, Tuple[int, int, float, float]]:
         out: Dict[int, Tuple[int, int, float, float]] = {}
@@ -286,6 +312,7 @@ def build_fabric(sim: Simulator, structure: Structure,
             out = ShardEgressLink(sim, node, remote, bandwidth, delay,
                                   queue_capacity_pkts=capacity,
                                   ecn_threshold_pkts=ecn)
+            out.dst_shard = shard_of[remote]
             node.attach_egress(out)
             egress[out.name] = out
             bridge = IngressBridge(sim, node, remote, bandwidth, delay)

@@ -1,34 +1,38 @@
 """Conservative time-synced execution of a partitioned fabric.
 
-The protocol is bulk-synchronous null-message style (SimBricks' fixed
-link-latency synchronization, specialized to rounds):
+The protocol is conservative null-message style (SimBricks' fixed
+link-latency synchronization, specialized to rounds) over a zero-copy
+shard interconnect:
 
-* The coordinator holds each shard's clock.  Every round it computes a
-  per-shard *safe horizon*: the minimum over in-channels of the sending
-  shard's clock plus the channel lookahead (the cut links' propagation
-  delay), capped at the run's ``until``.  No sender can emit a boundary
-  delivery below its own clock, and every boundary delivery lands at
-  least one propagation delay after its emission — so no shard ever
-  receives an event in its past (the proof is spelled out in DESIGN.md
-  §4.9).
+* The coordinator holds each shard's clock and, after every round, its
+  *earliest-action bound*: nothing can happen in shard ``s`` before
+  ``E_s = min(next local event, earliest pending boundary delivery)``,
+  relaxed transitively over the channel graph (Bellman-Ford over
+  positive lookaheads — a chain of cross-shard wakeups can reach ``s``
+  below its local bound).  Each round, shard ``s`` advances to
+  ``H_s = max(clock_s, min(until, min over in-channels (E_src + L)))``.
+  Because the bounds are *action* times, not clocks, a single barrier
+  can prove many lookahead windows safe at once: quiet phases and
+  far-future traffic cost one barrier instead of ``gap / L`` of them
+  (the adaptive multi-round horizon; soundness in DESIGN.md §4.10).
 * Each shard injects the messages the previous round produced, runs to
-  its horizon, and drains its egress outboxes.  Messages and horizons
-  are exchanged over multiprocessing pipes (``workers>1``) or plain
-  calls (``workers=1`` — no subprocess, byte-identical by construction
-  since the protocol itself never branches on the worker count).
-* When a whole round moves no messages, the shard clocks jump on the
-  shards' *next-event times* instead (every report doubles as a null
-  message): with nothing in flight, a neighbor cannot act before its
-  own next event, so quiet phases cost one barrier instead of
-  ``gap / lookahead`` of them.
+  its horizon, and drains its egress outboxes into one *frame* per
+  out-channel.  With ``workers>1`` frames travel through per-channel
+  shared-memory slots (`repro.shard.transport`) packed by the binary
+  codec (`repro.shard.codec`) — no pickle on the hot path — while the
+  pipes carry only tiny control words (horizons, peeks, per-channel
+  counts and earliest-delivery bounds).  ``REPRO_SHARD_TRANSPORT=pipe``
+  selects the pickled-pipe fallback; ``workers=1`` stays in-process
+  with plain calls.  All three paths run the identical protocol.
 
 Determinism: shard decomposition, per-shard seeds, channel order, and
 injection order are all pure functions of ``(scenario, partition)``;
-rounds are lockstep; merges walk sorted shard then sorted channel
-order.  Hence ``workers=N`` is byte-identical to ``workers=1`` — same
-per-shard event counts, same scheduler stats, same fingerprints — and
-lossless scenarios are result-identical to the unsharded single
-simulator (see ``results_identical``).
+rounds are lockstep; frames preserve per-channel emission order and
+are injected in ascending source-shard order.  Hence ``workers=N`` is
+byte-identical to ``workers=1`` under *either* transport — same
+per-shard event counts, same scheduler stats, same fingerprints, same
+frame/byte telemetry — and lossless scenarios are result-identical to
+the unsharded single simulator (see ``results_identical``).
 """
 
 from __future__ import annotations
@@ -46,9 +50,11 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.netsim import CompositeFault, NoLoss, Simulator
 from repro.netsim.faults import LinkFault
 
+from .codec import CodecTables, decode_frame, encode_frame, frame_nbytes
 from .fabric import ShardFabric, build_fabric, compute_routes
 from .partition import Partition, PartitionError, partition_structure
 from .spec import ShardScenario
+from .transport import ShmChannelBus, default_transport
 
 __all__ = ["WORKERS_ENV", "default_workers", "ShardRunResult",
            "UnshardedRunResult", "run_sharded", "run_unsharded",
@@ -58,6 +64,8 @@ WORKERS_ENV = "REPRO_SHARD_WORKERS"
 
 # Messages on a channel: (cut_link_name, deliver_time, packet).
 _Message = Tuple[str, float, Any]
+
+_INF = float("inf")
 
 
 def default_workers() -> int:
@@ -133,6 +141,29 @@ def _install_chaos(fabric: ShardFabric, scenario: ShardScenario,
              + zlib.crc32(f"{key[0]}->{key[1]}".encode())) & 0x7FFFFFFF)
 
 
+class _ChannelMap:
+    """Channel ids and per-shard adjacency, identical in every process
+    (pure function of the partition's sorted channel table)."""
+
+    def __init__(self, partition: Partition):
+        pairs = [pair for pair, _links in partition.channels]
+        self.pairs: Tuple[Tuple[int, int], ...] = tuple(pairs)
+        self.chan_id: Dict[Tuple[int, int], int] = {
+            pair: i for i, pair in enumerate(pairs)}
+        self.dst_of: Dict[int, int] = {
+            i: pair[1] for i, pair in enumerate(pairs)}
+        # in_channels[sid]: [(src_shard, channel_id)] ascending by src —
+        # the injection order every pool reproduces.
+        self.in_channels: Dict[int, List[Tuple[int, int]]] = {}
+        # out_chan[sid]: dst_shard -> channel_id
+        self.out_chan: Dict[int, Dict[int, int]] = {}
+        for i, (src, dst) in enumerate(pairs):
+            self.in_channels.setdefault(dst, []).append((src, i))
+            self.out_chan.setdefault(src, {})[dst] = i
+        for chans in self.in_channels.values():
+            chans.sort()
+
+
 class _ShardWorker:
     """One shard's live state plus its round step; used verbatim by the
     in-process pool and inside subprocess workers."""
@@ -149,33 +180,42 @@ class _ShardWorker:
         _install_chaos(self.fabric, scenario, shard_map)
         self.fabric.install_workload(scenario.flows)
         self.work_s = 0.0
+        self.frames_sent = 0
+        self.frame_bytes = 0
         self.profile_path = profile_path
         self._profiler = cProfile.Profile() if profile_path else None
 
     def run_round(self, horizon: float, inbound: List[_Message]
-                  ) -> Tuple[List[_Message], float]:
+                  ) -> Tuple[Dict[int, List[_Message]], float,
+                             Dict[int, Tuple[int, float]]]:
+        """Inject, run to ``horizon``, drain.  Returns the per-channel
+        outbound groups, the post-run ``peek``, and the control meta
+        ``{dst_shard: (count, earliest deliver time)}`` the coordinator
+        steers adaptive horizons with."""
         start = perf_counter()
         profiler = self._profiler
         if profiler is not None:
             profiler.enable()
         try:
-            ingress = self.fabric.ingress
-            for link_name, when, packet in inbound:
-                ingress[link_name].inject(when, packet)
+            if inbound:
+                ingress = self.fabric.ingress
+                for link_name, when, packet in inbound:
+                    ingress[link_name].inject(when, packet)
             self.sim.run(until=horizon)
-            out: List[_Message] = []
-            egress = self.fabric.egress
-            for name in self.fabric.egress_names:
-                outbox = egress[name].outbox
-                if outbox:
-                    out.extend((name, when, packet)
-                               for when, packet in outbox)
-                    outbox.clear()
+            outmap = self.fabric.drain_boundary()
+            meta: Dict[int, Tuple[int, float]] = {}
+            if outmap:
+                for dst, messages in outmap.items():
+                    count = len(messages)
+                    meta[dst] = (count,
+                                 min(record[1] for record in messages))
+                    self.frames_sent += 1
+                    self.frame_bytes += frame_nbytes(count)
         finally:
             if profiler is not None:
                 profiler.disable()
         self.work_s += perf_counter() - start
-        return out, self.sim.peek()
+        return outmap, self.sim.peek(), meta
 
     def finish(self) -> Dict[str, Any]:
         if self._profiler is not None:
@@ -187,6 +227,8 @@ class _ShardWorker:
             "events": self.sim._sequence,
             "scheduler_stats": self.sim.scheduler_stats(),
             "work_s": self.work_s,
+            "frames_sent": self.frames_sent,
+            "frame_bytes": self.frame_bytes,
             "profile": self.profile_path,
         }
 
@@ -196,7 +238,10 @@ class _ShardWorker:
 # ---------------------------------------------------------------------------
 class _InProcessPool:
     """``workers=1``: every shard lives in this process — no subprocess,
-    no pickling, same protocol."""
+    no serialization, same protocol, same per-channel frame accounting."""
+
+    transport = "inproc"
+    shm_spills = 0
 
     def __init__(self, scenario, partition, profile_for):
         routes = compute_routes(scenario.structure)
@@ -204,11 +249,27 @@ class _InProcessPool:
             sid: _ShardWorker(scenario, partition, sid, routes=routes,
                               profile_path=profile_for(sid))
             for sid in range(partition.n_shards)}
+        self._order = sorted(self.workers)
+        self._inboxes: Dict[int, List[_Message]] = {
+            sid: [] for sid in self.workers}
 
-    def run_round(self, horizons, inbound):
-        return {sid: self.workers[sid].run_round(horizons[sid],
-                                                 inbound.get(sid, []))
-                for sid in sorted(self.workers)}
+    def run_round(self, horizons):
+        reports = {}
+        inboxes = self._inboxes
+        routed: Dict[int, List[_Message]] = {sid: []
+                                             for sid in self._order}
+        # Ascending shard order: a destination's inbox concatenates its
+        # sources' frames lowest source first — the same order the shm
+        # readers walk their in-channels.
+        for sid in self._order:
+            outmap, peek, meta = self.workers[sid].run_round(
+                horizons[sid], inboxes[sid])
+            reports[sid] = (peek, meta)
+            if outmap:
+                for dst, messages in outmap.items():
+                    routed[dst].extend(messages)
+        self._inboxes = routed
+        return reports
 
     def finish(self):
         payloads = {sid: worker.finish()
@@ -222,28 +283,70 @@ class _InProcessPool:
 
 
 def _subprocess_main(conn, scenario, partition, shard_ids,
-                     profile_paths) -> None:
+                     profile_paths, transport, bus) -> None:
     try:
         routes = compute_routes(scenario.structure)
         workers = {sid: _ShardWorker(scenario, partition, sid,
                                      routes=routes,
                                      profile_path=profile_paths.get(sid))
                    for sid in shard_ids}
+        shm = transport == "shm"
+        tables = CodecTables(scenario.structure, partition) if shm \
+            else None
+        channels = _ChannelMap(partition)
         conn.send(("ready", None))
-        barrier_wait = 0.0
+        # Per-shard idle accounting: everything between one shard's
+        # round work ending and its next round work starting — pipe
+        # waits plus co-resident shards' run time — is that shard's
+        # barrier wait.  (PR 8 charged the whole worker's pipe wait to
+        # every shard it hosted, which is why BENCH_simcore.json showed
+        # shards 4-7 repeating shards 0-3's values.)
+        last_end = {sid: perf_counter() for sid in shard_ids}
+        idle = {sid: 0.0 for sid in shard_ids}
+        round_no = 0
         while True:
-            wait_start = perf_counter()
             command, payload = conn.recv()
-            barrier_wait += perf_counter() - wait_start
             if command == "round":
-                out = {sid: workers[sid].run_round(*payload[sid])
-                       for sid in sorted(payload)}
+                round_no += 1
+                out = {}
+                for sid in sorted(payload):
+                    horizon, extra = payload[sid]
+                    if shm:
+                        inbound: List[_Message] = []
+                        for _src, chan in channels.in_channels.get(sid,
+                                                                   ()):
+                            messages = bus.read_frame(chan, round_no - 1,
+                                                      tables)
+                            if messages is None and chan in extra:
+                                messages = decode_frame(extra[chan],
+                                                        tables)
+                            if messages:
+                                inbound.extend(messages)
+                    else:
+                        inbound = extra
+                    start = perf_counter()
+                    idle[sid] += start - last_end[sid]
+                    outmap, peek, meta = workers[sid].run_round(horizon,
+                                                                inbound)
+                    last_end[sid] = perf_counter()
+                    if shm:
+                        out_chan = channels.out_chan.get(sid, {})
+                        spills = {}
+                        for dst, messages in outmap.items():
+                            chan = out_chan[dst]
+                            if not bus.write_frame(chan, round_no,
+                                                   messages, tables):
+                                spills[chan] = encode_frame(messages,
+                                                            tables)
+                        out[sid] = (peek, meta, spills)
+                    else:
+                        out[sid] = (peek, meta, outmap)
                 conn.send(("round", out))
             elif command == "finish":
                 results = {}
                 for sid, worker in sorted(workers.items()):
                     result = worker.finish()
-                    result["barrier_wait_s"] = barrier_wait
+                    result["barrier_wait_s"] = idle[sid]
                     results[sid] = result
                 conn.send(("finish", results))
                 return
@@ -255,24 +358,45 @@ def _subprocess_main(conn, scenario, partition, shard_ids,
         except Exception:
             pass
         raise
+    finally:
+        if bus is not None:
+            bus.close()
 
 
 class _SubprocessPool:
-    """``workers>1``: shards spread round-robin over forked workers,
-    coordinated over one duplex pipe per worker.
+    """``workers>1``: shards spread round-robin over forked workers.
 
-    The strict send-all / recv-all alternation cannot deadlock: a
-    worker blocked sending a large round result has a parent that will
-    reach its ``recv``, and the parent only sends the next command
-    after draining every worker's previous reply.
+    Frames travel worker-to-worker through the shared-memory channel
+    bus (created *before* forking, so children inherit the mapping);
+    the duplex pipes carry control words — horizons and spilled frames
+    down, peeks / per-channel meta / spills up.  With
+    ``transport="pipe"`` the frames ride the pipes too (pickled), as
+    the PR-8 fallback path.  The strict send-all / recv-all alternation
+    cannot deadlock: a worker blocked sending a round reply has a
+    parent that will reach its ``recv``, and the parent only sends the
+    next command after draining every worker's previous reply.
     """
 
-    def __init__(self, scenario, partition, n_workers, profile_for):
+    def __init__(self, scenario, partition, n_workers, profile_for,
+                 transport):
         ctx = get_context("fork")
+        self.channels = _ChannelMap(partition)
+        self.transport = transport
+        self.bus = None
+        if transport == "shm":
+            try:
+                self.bus = ShmChannelBus(len(self.channels.pairs))
+            except OSError:            # no POSIX shm on this box
+                self.transport = transport = "pipe"
         self.owner = {sid: sid % n_workers
                       for sid in range(partition.n_shards)}
         self.conns = []
         self.procs = []
+        self.round_no = 0
+        self.shm_spills = 0
+        self._spills: Dict[int, bytes] = {}          # chan -> frame
+        self._inbound: Dict[int, List[_Message]] = {
+            sid: [] for sid in self.owner}
         for w in range(n_workers):
             mine = [sid for sid, owner in self.owner.items() if owner == w]
             parent_conn, child_conn = ctx.Pipe()
@@ -280,7 +404,7 @@ class _SubprocessPool:
             proc = ctx.Process(
                 target=_subprocess_main,
                 args=(child_conn, scenario, partition, mine,
-                      profile_paths),
+                      profile_paths, transport, self.bus),
                 daemon=True)
             proc.start()
             child_conn.close()
@@ -298,15 +422,43 @@ class _SubprocessPool:
             raise RuntimeError(f"expected {kind!r}, got {tag!r}")
         return payload
 
-    def run_round(self, horizons, inbound):
+    def run_round(self, horizons):
+        self.round_no += 1
+        shm = self.transport == "shm"
+        dst_of = self.channels.dst_of
         for w, conn in enumerate(self.conns):
-            payload = {sid: (horizons[sid], inbound.get(sid, []))
-                       for sid, owner in self.owner.items() if owner == w}
+            payload = {}
+            for sid, owner in self.owner.items():
+                if owner != w:
+                    continue
+                if shm:
+                    extra = {chan: frame
+                             for chan, frame in self._spills.items()
+                             if dst_of[chan] == sid}
+                else:
+                    extra = self._inbound[sid]
+                payload[sid] = (horizons[sid], extra)
             conn.send(("round", payload))
         merged = {}
         for conn in self.conns:
             merged.update(self._expect(conn, "round"))
-        return merged
+        reports = {}
+        new_spills: Dict[int, bytes] = {}
+        new_inbound: Dict[int, List[_Message]] = {
+            sid: [] for sid in self.owner}
+        for sid in sorted(merged):
+            peek, meta, extra = merged[sid]
+            reports[sid] = (peek, meta)
+            if shm:
+                for chan, frame in extra.items():
+                    new_spills[chan] = frame
+                    self.shm_spills += 1
+            else:
+                for dst, messages in extra.items():
+                    new_inbound[dst].extend(messages)
+        self._spills = new_spills
+        self._inbound = new_inbound
+        return reports
 
     def finish(self):
         for conn in self.conns:
@@ -323,6 +475,10 @@ class _SubprocessPool:
             proc.join(timeout=30)
             if proc.is_alive():  # pragma: no cover - hung worker
                 proc.terminate()
+        if self.bus is not None:
+            self.bus.close()
+            self.bus.unlink()
+            self.bus = None
 
 
 # ---------------------------------------------------------------------------
@@ -346,6 +502,12 @@ class ShardRunResult:
     work_s: List[float]
     barrier_wait_s: List[float]
     wall_s: float
+    transport: str = "inproc"
+    messages_relayed: int = 0
+    frames_sent: int = 0
+    transport_bytes: int = 0
+    horizon_rounds_skipped: int = 0
+    shm_spills: int = 0
     profiles: List[Optional[str]] = field(default_factory=list)
 
     @property
@@ -360,11 +522,22 @@ class ShardRunResult:
     def events_per_sec(self) -> float:
         return self.total_events / self.wall_s if self.wall_s > 0 else 0.0
 
+    @property
+    def bytes_per_round(self) -> float:
+        """Logical transport payload per barrier (codec frame bytes)."""
+        return self.transport_bytes / self.rounds if self.rounds else 0.0
+
+    @property
+    def barriers_per_sim_sec(self) -> float:
+        """Synchronization density: barriers per simulated second."""
+        return self.rounds / self.until if self.until > 0 else 0.0
+
     def comparable_state(self) -> Dict[str, Any]:
-        """Everything that must be byte-identical across worker counts:
-        results, fingerprints, per-shard event totals and scheduler
-        stats, the barrier count, and the final clocks — all wall-time
-        accounting excluded."""
+        """Everything that must be byte-identical across worker counts
+        *and* transports: results, fingerprints, per-shard event totals
+        and scheduler stats, the barrier count, the final clocks, and
+        the logical transport telemetry — all wall-time accounting
+        excluded."""
         return {
             "flows": self.flows,
             "link_stats": self.link_stats,
@@ -375,6 +548,10 @@ class ShardRunResult:
             "shard_clocks": self.shard_clocks,
             "events_per_shard": self.events_per_shard,
             "scheduler_stats": self.scheduler_stats,
+            "messages_relayed": self.messages_relayed,
+            "frames_sent": self.frames_sent,
+            "transport_bytes": self.transport_bytes,
+            "horizon_rounds_skipped": self.horizon_rounds_skipped,
         }
 
 
@@ -406,79 +583,107 @@ def results_identical(sharded: ShardRunResult,
 # drivers
 # ---------------------------------------------------------------------------
 def _coordinate(pool, partition: Partition, until: float
-                ) -> Tuple[int, int]:
+                ) -> Tuple[int, int, int]:
     """Run rounds until every clock reaches ``until`` and a full round
-    moves no messages.  Returns (rounds, messages_relayed)."""
+    moves no messages.  Returns (rounds, messages_relayed,
+    horizon_rounds_skipped).
+
+    Horizons are *adaptive*: shard ``s`` cannot act before
+    ``E_s = min(peek_s, earliest pending boundary delivery to s)``,
+    and a chain of cross-shard wakeups cannot reach it earlier than the
+    Bellman-Ford fixed point of ``E_s = min(E_s, min_q (E_q + L_qs))``
+    (all lookaheads positive, so <= n passes converge).  Any future
+    boundary delivery into ``dst`` is then ``>= E_src + L``, so one
+    barrier may advance ``dst`` through every lookahead window below
+    that bound — ``k`` quiet windows cost one barrier, not ``k``.
+    PR 8's quiescent-round promotion is the special case with nothing
+    in flight; carrying the pending-delivery bounds in the control
+    words makes it sound on *every* round.
+    """
     n = partition.n_shards
-    in_channels: Dict[int, List[Tuple[int, float]]] = {
-        sid: [] for sid in range(n)}
+    shard_range = range(n)
+    in_channels: List[List[Tuple[int, float]]] = [[] for _ in shard_range]
     for (src_shard, dst_shard), bound in partition.lookahead:
         in_channels[dst_shard].append((src_shard, bound))
-    link_dst_shard = {cut.name: cut.dst_shard
-                      for cut in partition.cut_links}
 
     channel_bounds = [(src, dst, la)
                       for (src, dst), la in partition.lookahead]
+    min_la = partition.min_lookahead
+    track_skips = 0.0 < min_la < _INF
 
     clocks = [0.0] * n
     peeks = [0.0] * n
-    quiescent = False
-    pending: Dict[int, List[_Message]] = {}
+    inbound_min = [_INF] * n
     rounds = 0
     relayed = 0
+    skipped = 0
     while True:
-        if quiescent:
-            # Quiescent rounds promote each report to a null message:
-            # with nothing in flight, shard s cannot act before its own
-            # next event *or* a chain of cross-shard wakeups reaching
-            # it — so relax the peek bounds over the channel graph
-            # (Bellman-Ford; all lookaheads are positive) before using
-            # them.  The single-hop bound alone is unsound here: a
-            # two-hop chain q -> s -> r can wake s below its local peek.
-            earliest = list(peeks)
-            for _ in range(n):
-                changed = False
-                for src, dst, la in channel_bounds:
-                    relaxed = earliest[src] + la
-                    if relaxed < earliest[dst]:
-                        earliest[dst] = relaxed
-                        changed = True
-                if not changed:
-                    break
-            bases = earliest
-        else:
-            bases = clocks
+        # Earliest-action bounds, relaxed over the channel graph.
+        bases = [peek if peek < pending else pending
+                 for peek, pending in zip(peeks, inbound_min)]
+        for _ in shard_range:
+            changed = False
+            for src, dst, la in channel_bounds:
+                relaxed = bases[src] + la
+                if relaxed < bases[dst]:
+                    bases[dst] = relaxed
+                    changed = True
+            if not changed:
+                break
         horizons: List[float] = []
-        for sid in range(n):
+        for sid in shard_range:
             bound = until
             for src, la in in_channels[sid]:
-                if bases[src] + la < bound:
-                    bound = bases[src] + la
-            horizons.append(max(bound, clocks[sid]))
-        results = pool.run_round(horizons, pending)
+                relaxed = bases[src] + la
+                if relaxed < bound:
+                    bound = relaxed
+            clock = clocks[sid]
+            horizons.append(bound if bound > clock else clock)
+        if rounds and track_skips:
+            # Telemetry: windows this barrier proved safe beyond the
+            # single-window BSP advance (0 when any shard moved by just
+            # one lookahead; pure arithmetic, so identical across
+            # pools and transports).
+            least = _INF
+            for horizon, clock in zip(horizons, clocks):
+                advance = horizon - clock
+                if 0.0 < advance < least:
+                    least = advance
+            if least < _INF and least > min_la:
+                extra = int(least / min_la) - 1
+                if extra > 0:
+                    skipped += extra
+        reports = pool.run_round(horizons)
         rounds += 1
         clocks = horizons
-        pending = {}
+        inbound_min = [_INF] * n
         moved = 0
-        for sid in sorted(results):
-            messages, peek = results[sid]
+        # Order-free merge: peek assignment is per-shard, the pending
+        # minima commute.
+        for sid, (peek, meta) in reports.items():
             peeks[sid] = peek
-            for message in messages:
-                pending.setdefault(link_dst_shard[message[0]],
-                                   []).append(message)
-                moved += 1
+            for dst, (count, earliest) in meta.items():
+                moved += count
+                if earliest < inbound_min[dst]:
+                    inbound_min[dst] = earliest
         relayed += moved
-        quiescent = moved == 0
-        if quiescent and all(clock >= until for clock in clocks):
-            return rounds, relayed
+        if moved == 0 and all(clock >= until for clock in clocks):
+            return rounds, relayed, skipped
 
 
 def run_sharded(scenario: ShardScenario,
                 partition: Optional[Partition] = None,
                 n_shards: Optional[int] = None,
                 workers: Optional[int] = None,
+                transport: Optional[str] = None,
                 profile_dir: Optional[str] = None) -> ShardRunResult:
-    """Execute ``scenario`` sharded; ``workers=1`` stays in-process."""
+    """Execute ``scenario`` sharded; ``workers=1`` stays in-process.
+
+    ``transport`` picks the ``workers>1`` interconnect: ``"shm"``
+    (zero-copy shared-memory frames, the default) or ``"pipe"`` (the
+    pickled-pipe fallback); unset, ``$REPRO_SHARD_TRANSPORT`` decides.
+    Results are bit-identical either way.
+    """
     if partition is None:
         if n_shards is None:
             raise ValueError("pass a partition or n_shards")
@@ -498,9 +703,11 @@ def run_sharded(scenario: ShardScenario,
     if workers == 1:
         pool = _InProcessPool(scenario, partition, profile_for)
     else:
-        pool = _SubprocessPool(scenario, partition, workers, profile_for)
+        pool = _SubprocessPool(scenario, partition, workers, profile_for,
+                               transport or default_transport())
     try:
-        rounds, _relayed = _coordinate(pool, partition, scenario.until)
+        rounds, relayed, skipped = _coordinate(pool, partition,
+                                               scenario.until)
         payloads = pool.finish()
     finally:
         pool.close()
@@ -537,6 +744,12 @@ def run_sharded(scenario: ShardScenario,
         work_s=[p["work_s"] for p in ordered],
         barrier_wait_s=[p["barrier_wait_s"] for p in ordered],
         wall_s=wall,
+        transport=pool.transport,
+        messages_relayed=relayed,
+        frames_sent=sum(p["frames_sent"] for p in ordered),
+        transport_bytes=sum(p["frame_bytes"] for p in ordered),
+        horizon_rounds_skipped=skipped,
+        shm_spills=pool.shm_spills,
         profiles=[p.get("profile") for p in ordered])
 
 

@@ -41,7 +41,13 @@ def test_golden_fingerprint_rack2():
     result = run_sharded(scenario_obj, partition=partition, workers=1)
     assert result.fingerprint == GOLDEN_RACK2_SEED0
     assert result.events_per_shard == [526, 459]
-    assert result.rounds == 51
+    # Adaptive multi-round horizons (DESIGN.md §4.10) prove several
+    # lookahead windows per barrier; the fixed-window BSP protocol
+    # needed 51 rounds for this scenario.  The fingerprint and the
+    # per-shard event census above are the real pins — the round count
+    # only documents the sync schedule.
+    assert result.rounds == 48
+    assert result.horizon_rounds_skipped > 0
 
 
 def test_golden_fingerprint_rack2_chaos():

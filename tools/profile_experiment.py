@@ -113,6 +113,16 @@ def profile_sharded(name: str, run, kwargs: dict, args) -> int:
           f"{result['events_per_sec']:,.0f} events/s, "
           f"{result['barriers_per_sec']:,.0f} barriers/s, "
           f"{wall:.2f}s wall (includes profiler overhead)")
+    rounds = result["rounds"]
+    print(f"transport         : {result['transport']}, "
+          f"{result['messages_relayed']:,} boundary messages in "
+          f"{result['frames_sent']:,} frames "
+          f"({result['transport_bytes']:,} logical bytes, "
+          f"{result['bytes_per_round']:,.0f} B/round, "
+          f"{result['frames_sent'] / rounds if rounds else 0.0:.1f} "
+          f"frames/round), "
+          f"{result['horizon_rounds_skipped']:,} horizon rounds skipped"
+          f"{', %d shm spills' % result['shm_spills'] if result['shm_spills'] else ''}")
 
     missing = 0
     for dump in sorted(profile_dir.glob("shard*.prof")):
