@@ -18,9 +18,14 @@ A/B-benchmarking two checkouts (which is hostage to machine load):
    budget to amortize the guards against;
 3. assert ``guard_cost * GUARDS_PER_PACKET / per_packet_cost <= 2%``,
    with ``GUARDS_PER_PACKET`` a deliberate over-count of the trace
-   guards a packet can cross per simulated hop.
+   guards a packet can cross per simulated hop;
+4. repeat the amortization for a *sharded* run (rack2, workers=1):
+   the per-event cost of the shard fabric — whose boundary stubs
+   (``repro.shard.boundary``) carry their own TRACE call sites,
+   including the PR 10 ``boundary.deliver`` instant — must likewise
+   absorb the disabled guards inside the same 2% budget.
 
-A loose absolute rate floor backstops the ratio check: if the driver
+A loose absolute rate floor backstops each ratio check: if a driver
 itself collapsed (e.g. recording sneaked onto the disabled path), the
 ratio could look fine while the simulator got slow.
 
@@ -47,10 +52,19 @@ from repro.obs.tracer import TRACE                        # noqa: E402
 GUARDS_PER_PACKET = 8
 MAX_OVERHEAD_FRACTION = 0.02
 
+# Guard over-count per *event* on the sharded flow fabric.  The worst
+# event is a boundary egress send crossing the queue-drop, ecn, and
+# serialize/propagate guard sites (ShardEgressLink.send); an ingress
+# replay crosses one (boundary.deliver).  6 doubles the worst case —
+# the fabric has no RPC-stack guards, so the link-driver figure of 8
+# per packet does not apply per event here.
+SHARD_GUARDS_PER_EVENT = 6
+
 # Catastrophe floors (~3x below the recorded baseline rates): these
 # fire only if the hot path fundamentally regressed, not on CI jitter.
 MIN_LINK_PPS = 120_000.0
 MIN_RAW_EVENTS_PER_SEC = 350_000.0
+MIN_SHARD_EVENTS_PER_SEC = 30_000.0
 
 _N = 2_000_000
 
@@ -76,6 +90,25 @@ def _guard_cost_s() -> float:
                - min(empty() for _ in range(3)))
 
 
+def _sharded_per_event_s() -> float:
+    """Untraced per-event cost of the sharded fabric (rack2, workers=1).
+
+    ``sum(work_s)`` is pure shard simulation time (injection, run,
+    drain) — coordinator bookkeeping is excluded, which makes the
+    per-event denominator *smaller* and the overhead bound stricter.
+    """
+    from repro.experiments.exp_fattree import build_scenario
+    from repro.shard import run_sharded
+
+    assert not TRACE.enabled, "sharded leg must run untraced"
+    scenario, partition = build_scenario("rack2", fast=True, seed=0)
+    best = float("inf")
+    for _ in range(3):
+        result = run_sharded(scenario, partition=partition, workers=1)
+        best = min(best, sum(result.work_s) / result.total_events)
+    return best
+
+
 def main() -> int:
     guard = _guard_cost_s()
     # chain_batch_min above n_packets keeps the link on the per-event
@@ -85,14 +118,23 @@ def main() -> int:
     events_per_sec = max(drive_raw_events(200_000) for _ in range(3))
     per_packet = 1.0 / link_pps
 
+    shard_per_event = _sharded_per_event_s()
+    shard_events_per_sec = 1.0 / shard_per_event
+
     overhead = guard * GUARDS_PER_PACKET / per_packet
+    shard_overhead = guard * SHARD_GUARDS_PER_EVENT / shard_per_event
     print(f"disabled guard     : {guard * 1e9:8.1f} ns")
     print(f"lossless link      : {link_pps:12,.0f} pkts/s "
           f"({per_packet * 1e9:.0f} ns/pkt)")
     print(f"raw event dispatch : {events_per_sec:12,.0f} events/s")
+    print(f"sharded fabric     : {shard_events_per_sec:12,.0f} events/s "
+          f"({shard_per_event * 1e9:.0f} ns/event, rack2 workers=1)")
     print(f"worst-case overhead: {overhead:.2%} "
           f"({GUARDS_PER_PACKET} guards/pkt, budget "
           f"{MAX_OVERHEAD_FRACTION:.0%})")
+    print(f"sharded overhead   : {shard_overhead:.2%} "
+          f"({SHARD_GUARDS_PER_EVENT} guards/event incl. boundary "
+          f"stubs, budget {MAX_OVERHEAD_FRACTION:.0%})")
 
     failures = []
     if overhead > MAX_OVERHEAD_FRACTION:
@@ -100,6 +142,11 @@ def main() -> int:
             f"disabled-tracing overhead {overhead:.2%} exceeds "
             f"{MAX_OVERHEAD_FRACTION:.0%}: the guard is no longer a "
             f"single attribute check")
+    if shard_overhead > MAX_OVERHEAD_FRACTION:
+        failures.append(
+            f"sharded disabled-tracing overhead {shard_overhead:.2%} "
+            f"exceeds {MAX_OVERHEAD_FRACTION:.0%}: a boundary-stub "
+            f"trace site grew beyond the guarded pattern")
     if link_pps < MIN_LINK_PPS:
         failures.append(f"link driver collapsed: {link_pps:,.0f} pkts/s "
                         f"< floor {MIN_LINK_PPS:,.0f}")
@@ -107,6 +154,10 @@ def main() -> int:
         failures.append(f"event dispatch collapsed: "
                         f"{events_per_sec:,.0f}/s "
                         f"< floor {MIN_RAW_EVENTS_PER_SEC:,.0f}")
+    if shard_events_per_sec < MIN_SHARD_EVENTS_PER_SEC:
+        failures.append(f"sharded fabric collapsed: "
+                        f"{shard_events_per_sec:,.0f} events/s "
+                        f"< floor {MIN_SHARD_EVENTS_PER_SEC:,.0f}")
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}")

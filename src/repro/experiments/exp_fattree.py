@@ -90,17 +90,41 @@ def build_scenario(scenario: str = "rack4", fast: bool = True,
 def run(scenario: str = "rack4", fast: bool = True, seed: int = 0,
         workers: Optional[int] = None, chaos: bool = False,
         compare_unsharded: Optional[bool] = None,
-        profile_dir: Optional[str] = None) -> dict:
+        profile_dir: Optional[str] = None,
+        trace: Optional[str] = None) -> dict:
     """Run one scenario sharded; optionally diff against the reference.
 
     ``compare_unsharded`` defaults to True everywhere but ``rackscale``
     (where the single-core reference is the expensive thing the sharding
     exists to avoid).
+
+    ``trace`` names a Perfetto JSON output path: the run executes with
+    the flight recorder armed (worker capture + coordinator telemetry,
+    DESIGN.md §4.11) and the merged timeline plus its metrics JSONL are
+    written there.  Tracing observes only — fingerprints and event
+    censuses are bit-identical either way.
     """
+    from repro.obs import TRACE, keep_registries
+    from repro.obs.merge import write_merged_trace
+
     scenario_obj, partition = build_scenario(scenario, fast=fast,
                                              seed=seed, chaos=chaos)
-    result = run_sharded(scenario_obj, partition=partition,
-                         workers=workers, profile_dir=profile_dir)
+    tracing_was_on = TRACE.enabled
+    if trace and not tracing_was_on:
+        TRACE.start()
+    try:
+        result = run_sharded(scenario_obj, partition=partition,
+                             workers=workers, profile_dir=profile_dir)
+    finally:
+        if trace and not tracing_was_on:
+            TRACE.stop()
+
+    trace_path = metrics_path = None
+    if trace:
+        trace_path, metrics_path = write_merged_trace(result.obs, trace)
+        if not tracing_was_on:
+            TRACE.clear()
+            keep_registries(False)
 
     if compare_unsharded is None:
         compare_unsharded = scenario != "rackscale"
@@ -146,5 +170,10 @@ def run(scenario: str = "rack4", fast: bool = True, seed: int = 0,
         "horizon_rounds_skipped": result.horizon_rounds_skipped,
         "shm_spills": result.shm_spills,
         "scheduler_stats": result.scheduler_stats,
+        "work_s": result.work_s,
+        "barrier_wait_s": result.barrier_wait_s,
+        "trace_path": None if trace_path is None else str(trace_path),
+        "metrics_path": None if metrics_path is None
+        else str(metrics_path),
         "table": table,
     }

@@ -22,14 +22,26 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Any, Callable, Optional, Tuple
 
+from .capture import (
+    ShardCapture,
+    ShardObs,
+    capture_shards,
+    shard_lane,
+)
 from .export import (
     ARG_NAMES,
+    append_record_events,
     chrome_trace,
     load_metrics_jsonl,
     load_trace,
     validate_chrome_trace,
     write_chrome_trace,
     write_metrics_jsonl,
+)
+from .merge import (
+    merged_chrome_trace,
+    stitch_flow_pairs,
+    write_merged_trace,
 )
 from .registry import (
     KEEP_LIMIT,
@@ -50,7 +62,9 @@ __all__ = [
     "collected_snapshots", "KEEP_LIMIT",
     "chrome_trace", "write_chrome_trace", "write_metrics_jsonl",
     "load_trace", "load_metrics_jsonl", "validate_chrome_trace",
-    "ARG_NAMES",
+    "ARG_NAMES", "append_record_events",
+    "ShardCapture", "ShardObs", "capture_shards", "shard_lane",
+    "merged_chrome_trace", "stitch_flow_pairs", "write_merged_trace",
     "start_trace", "stop_trace", "export_trace", "run_traced",
     "metrics_path_for",
 ]

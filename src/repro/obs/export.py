@@ -33,12 +33,14 @@ from .tracer import FlightRecorder
 
 __all__ = [
     "chrome_trace",
+    "append_record_events",
     "write_chrome_trace",
     "write_metrics_jsonl",
     "load_trace",
     "load_metrics_jsonl",
     "validate_chrome_trace",
     "ARG_NAMES",
+    "EVENT_SORT_KEY",
 ]
 
 # Positional arg tuples in trace records are compact on the hot path;
@@ -62,6 +64,10 @@ ARG_NAMES: Dict[str, tuple] = {
     "control.failover": ("entries", "flows"),
     "inc.resync": ("srrt",),
     "client.task": ("task",),
+    # shard-boundary spans (merged sharded traces, DESIGN.md §4.11)
+    "link.serialize": ("flow", "seq"),
+    "boundary.deliver": ("flow", "seq"),
+    "barrier.round": ("round", "base_s", "moved"),
 }
 
 _US = 1e6   # simulated seconds -> trace microseconds
@@ -76,12 +82,28 @@ def _args_dict(kind: str, args: Optional[tuple]) -> Optional[Dict]:
     return dict(zip(names, args))
 
 
-def chrome_trace(recorder: FlightRecorder) -> Dict[str, Any]:
-    """Build the Chrome trace-event JSON object for one recorder."""
-    events: List[Dict[str, Any]] = []
-    tids: Dict[tuple, int] = {}
+# Metadata first, then (pid, ts, tid): the validator's monotonicity
+# contract and a stable on-disk ordering for diffing two dumps.  The
+# shard merge exporter sorts with the same key so single-process and
+# merged traces diff alike.
+def EVENT_SORT_KEY(event: Dict[str, Any]) -> tuple:
+    return (event["ph"] != "M", event["pid"], event["ts"], event["tid"])
+
+
+def append_record_events(events: List[Dict[str, Any]], records,
+                         tids: Dict[tuple, int]) -> set:
+    """Emit span/instant events for raw records into ``events``.
+
+    This is the exporter's epoch→pid lane mapping: each record's epoch
+    *is* its ``pid`` (one process lane per simulator run — or, in the
+    shard merge, per shard lane) and each ``(pid, where)`` pair gets a
+    ``tid`` with a ``thread_name`` metadata event on first sighting.
+    ``tids`` is shared across calls so a caller can add its own lanes
+    (the merge exporter's coordinator tracks) without tid collisions.
+    Returns the set of pids seen.
+    """
     pids = set()
-    for epoch, kind, start, end, where, args in recorder.records():
+    for epoch, kind, start, end, where, args in records:
         pid = epoch
         key = (epoch, where)
         tid = tids.get(key)
@@ -108,14 +130,19 @@ def chrome_trace(recorder: FlightRecorder) -> Dict[str, Any]:
             event["args"] = extra
         events.append(event)
         pids.add(pid)
+    return pids
+
+
+def chrome_trace(recorder: FlightRecorder) -> Dict[str, Any]:
+    """Build the Chrome trace-event JSON object for one recorder."""
+    events: List[Dict[str, Any]] = []
+    tids: Dict[tuple, int] = {}
+    pids = append_record_events(events, recorder.records(), tids)
     for pid in sorted(pids):
         events.append({"name": "process_name", "ph": "M", "pid": pid,
                        "tid": 0, "ts": 0,
                        "args": {"name": f"run epoch {pid}"}})
-    # Metadata first, then (pid, ts, tid): the validator's monotonicity
-    # contract and a stable on-disk ordering for diffing two dumps.
-    events.sort(key=lambda e: (e["ph"] != "M", e["pid"], e["ts"],
-                               e["tid"]))
+    events.sort(key=EVENT_SORT_KEY)
     return {
         "traceEvents": events,
         "displayTimeUnit": "ns",
@@ -190,10 +217,11 @@ def validate_chrome_trace(trace: Dict[str, Any],
     """Return a list of schema violations (empty = valid).
 
     Checks: structural shape, non-negative and per-``pid``-monotonic
-    timestamps, non-negative durations, balanced begin/end stacks, and
-    span↔metrics count consistency (against ``otherData.span_counts``
-    and, when given, the metrics JSONL's ``flight-recorder/spans``
-    line).
+    timestamps, non-negative durations, balanced begin/end stacks,
+    flow-event (``ph: "s"/"f"``) id pairing — every flow id must have
+    at least one start and one finish endpoint — and span↔metrics count
+    consistency (against ``otherData.span_counts`` and, when given, the
+    metrics JSONL's ``flight-recorder/spans`` line).
     """
     problems: List[str] = []
     events = trace.get("traceEvents")
@@ -204,6 +232,7 @@ def validate_chrome_trace(trace: Dict[str, Any],
     last_ts: Dict[int, float] = {}
     stacks: Dict[tuple, List[str]] = {}
     name_counts: Dict[str, int] = {}
+    flow_ends: Dict[Any, List[int]] = {}     # id -> [starts, finishes]
     for index, event in enumerate(events):
         for field in ("name", "ph", "pid", "tid", "ts"):
             if field not in event:
@@ -235,12 +264,31 @@ def validate_chrome_trace(trace: Dict[str, Any],
                     problems.append(f"event {index}: E without B")
                 elif stack.pop() != event["name"]:
                     problems.append(f"event {index}: E name mismatch")
-            elif ph not in ("i", "I", "C", "M"):
+            elif ph in ("s", "f", "t"):
+                flow_id = event.get("id")
+                if flow_id is None:
+                    problems.append(f"event {index}: flow event "
+                                    f"without id")
+                else:
+                    ends = flow_ends.setdefault(flow_id, [0, 0])
+                    if ph == "s":
+                        ends[0] += 1
+                    elif ph == "f":
+                        ends[1] += 1
+            elif ph == "C":
+                if not isinstance(event.get("args"), dict):
+                    problems.append(f"event {index}: counter without "
+                                    f"args dict")
+            elif ph not in ("i", "I", "M"):
                 problems.append(f"event {index}: unknown ph {ph!r}")
     for (pid, tid), stack in stacks.items():
         if stack:
             problems.append(f"unbalanced B spans on pid {pid} tid {tid}: "
                             f"{stack}")
+    for flow_id, (n_start, n_finish) in flow_ends.items():
+        if n_start == 0 or n_finish == 0:
+            problems.append(f"flow id {flow_id!r} unpaired "
+                            f"(s={n_start}, f={n_finish})")
 
     span_counts = other.get("span_counts")
     if isinstance(span_counts, dict):

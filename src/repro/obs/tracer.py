@@ -147,6 +147,18 @@ class FlightRecorder:
         """Total records of ``kind`` ever pushed (including evicted)."""
         return self.counts.get(kind, 0)
 
+    def records_by_epoch(self) -> Dict[int, List[Record]]:
+        """Surviving records bucketed by epoch, insertion order kept.
+
+        Epochs are the exporter's ``pid`` lanes; shard capture uses this
+        to attribute a worker ring shared by co-resident shards back to
+        the shard whose ``Simulator`` opened each epoch.
+        """
+        out: Dict[int, List[Record]] = {}
+        for rec in self.records():
+            out.setdefault(rec[0], []).append(rec)
+        return out
+
 
 #: The process-wide recorder every instrumentation site consults.
 TRACE = FlightRecorder()

@@ -136,7 +136,13 @@ class ShardEgressLink(Link):
                 counts["sent_bytes"] = size
         self.outbox.append((free + self.delay_s, packet))
         if TRACE.enabled:
-            TRACE.record("link.serialize", start, free, self.name)
+            # (flow, seq) is one half of the cross-shard stitch key —
+            # the matching IngressBridge records the other half under
+            # the same cut-link name (DESIGN.md §4.11).
+            flow_id = getattr(packet, "flow_id", None)
+            TRACE.record("link.serialize", start, free, self.name,
+                         None if flow_id is None
+                         else (flow_id, getattr(packet, "seq", -1)))
             TRACE.record("link.propagate", free, free + self.delay_s,
                          self.name)
         return True
@@ -206,6 +212,11 @@ class IngressBridge:
                 counts["delivered_pkts"] += 1
             except KeyError:
                 counts["delivered_pkts"] = 1
+        if TRACE.enabled:
+            flow_id = getattr(packet, "flow_id", None)
+            TRACE.instant("boundary.deliver", self.sim.now, self.name,
+                          None if flow_id is None
+                          else (flow_id, getattr(packet, "seq", -1)))
         self.dst.receive(packet, self)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -49,6 +49,9 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.netsim import CompositeFault, NoLoss, Simulator
 from repro.netsim.faults import LinkFault
+from repro.obs.capture import ShardCapture, ShardObs, capture_shards
+from repro.obs.registry import MetricsRegistry, keep_registries
+from repro.obs.tracer import TRACE
 
 from .codec import CodecTables, decode_frame, encode_frame, frame_nbytes
 from .fabric import ShardFabric, build_fabric, compute_routes
@@ -170,9 +173,14 @@ class _ShardWorker:
 
     def __init__(self, scenario: ShardScenario, partition: Partition,
                  shard_id: int, routes=None,
-                 profile_path: Optional[str] = None):
+                 profile_path: Optional[str] = None,
+                 capture: bool = False):
         self.shard_id = shard_id
         self.sim = Simulator(seed=_shard_seed(scenario.seed, shard_id))
+        # The simulator just opened a tracer epoch if tracing is armed;
+        # that epoch is this shard's lane in the process-local ring —
+        # capture_shards() rewrites it to the stable merged-trace pid.
+        self.trace_epoch = TRACE.epoch if TRACE.enabled else 0
         shard_map = partition.shard_map()
         self.fabric = build_fabric(
             self.sim, scenario.structure, cal=scenario.cal,
@@ -184,6 +192,32 @@ class _ShardWorker:
         self.frame_bytes = 0
         self.profile_path = profile_path
         self._profiler = cProfile.Profile() if profile_path else None
+        self.registry: Optional[MetricsRegistry] = None
+        self.obs_sync: Dict[str, Any] = {}
+        if capture:
+            # Observe-only registration: every entry is a bound method
+            # or plain dict, so MetricsRegistry._apply_state finds no
+            # enable()/disable() to call — arming capture cannot flip
+            # any instrument's enabled state (that would change link
+            # counters and break traced-vs-untraced bit-identity).
+            registry = MetricsRegistry(f"shard{shard_id}")
+            registry.register("scheduler", self.sim.scheduler_stats,
+                              snapshot=lambda fn: dict(fn()))
+            for name in self.fabric.egress_names:
+                registry.register(
+                    f"egress.{name}",
+                    self.fabric.egress[name].stats.as_dict,
+                    snapshot=lambda fn: dict(fn()))
+            for name in sorted(self.fabric.ingress):
+                registry.register(
+                    f"ingress.{name}",
+                    self.fabric.ingress[name].stats.as_dict,
+                    snapshot=lambda fn: dict(fn()))
+            # Deterministic sync summary only (simulated clock, event
+            # and frame counts) — wall-time accounting stays out so a
+            # capture is byte-equal across pools and transports.
+            registry.register("sync", self.obs_sync)
+            self.registry = registry
 
     def run_round(self, horizon: float, inbound: List[_Message]
                   ) -> Tuple[Dict[int, List[_Message]], float,
@@ -196,6 +230,12 @@ class _ShardWorker:
         profiler = self._profiler
         if profiler is not None:
             profiler.enable()
+        if self.trace_epoch and TRACE.enabled:
+            # Unlike sequential single-sim runs, a pool interleaves
+            # live simulators in one process — restore this shard's
+            # epoch so its records land in its own lane.  Pure record
+            # stamping; no simulator state involved.
+            TRACE.epoch = self.trace_epoch
         try:
             if inbound:
                 ingress = self.fabric.ingress
@@ -220,6 +260,11 @@ class _ShardWorker:
     def finish(self) -> Dict[str, Any]:
         if self._profiler is not None:
             self._profiler.dump_stats(self.profile_path)
+        if self.registry is not None:
+            self.obs_sync.update(
+                clock_s=self.sim.now, events=self.sim._sequence,
+                frames_sent=self.frames_sent,
+                frame_bytes=self.frame_bytes)
         return {
             "flows": self.fabric.flow_results(),
             "links": self.fabric.link_results(),
@@ -243,11 +288,14 @@ class _InProcessPool:
     transport = "inproc"
     shm_spills = 0
 
-    def __init__(self, scenario, partition, profile_for):
+    def __init__(self, scenario, partition, profile_for,
+                 capture: bool = False):
         routes = compute_routes(scenario.structure)
+        self.capture = capture
         self.workers = {
             sid: _ShardWorker(scenario, partition, sid, routes=routes,
-                              profile_path=profile_for(sid))
+                              profile_path=profile_for(sid),
+                              capture=capture)
             for sid in range(partition.n_shards)}
         self._order = sorted(self.workers)
         self._inboxes: Dict[int, List[_Message]] = {
@@ -276,19 +324,48 @@ class _InProcessPool:
                     for sid, worker in sorted(self.workers.items())}
         for payload in payloads.values():
             payload["barrier_wait_s"] = 0.0
+        if self.capture:
+            _attach_captures(self.workers, payloads)
         return payloads
 
     def close(self):
         pass
 
 
+def _attach_captures(workers: Dict[int, _ShardWorker],
+                     payloads: Dict[int, Dict[str, Any]]) -> None:
+    """Bucket this process's tracer ring into per-shard captures and
+    attach the wire form to each shard's finish payload.  Used both by
+    the in-process pool (one shared ring, every shard) and inside each
+    forked worker (its own ring, its resident shards) — the capture a
+    shard ships is byte-identical either way."""
+    metrics = {sid: worker.registry.snapshot_nested()
+               for sid, worker in workers.items()
+               if worker.registry is not None}
+    captures = capture_shards(
+        {sid: worker.trace_epoch for sid, worker in workers.items()},
+        TRACE, metrics)
+    for sid, cap in captures.items():
+        payloads[sid]["obs"] = cap.to_wire()
+
+
 def _subprocess_main(conn, scenario, partition, shard_ids,
-                     profile_paths, transport, bus) -> None:
+                     profile_paths, transport, bus, capture,
+                     trace_capacity) -> None:
     try:
+        if capture:
+            # Fork inherited the parent's armed recorder *and* a copy
+            # of its buffer — restart for a clean per-worker ring (and
+            # drop inherited registry collection) before any simulator
+            # opens an epoch, so only this worker's shards record here.
+            TRACE.clear()
+            keep_registries(False)
+            TRACE.start(trace_capacity)
         routes = compute_routes(scenario.structure)
         workers = {sid: _ShardWorker(scenario, partition, sid,
                                      routes=routes,
-                                     profile_path=profile_paths.get(sid))
+                                     profile_path=profile_paths.get(sid),
+                                     capture=capture)
                    for sid in shard_ids}
         shm = transport == "shm"
         tables = CodecTables(scenario.structure, partition) if shm \
@@ -348,6 +425,8 @@ def _subprocess_main(conn, scenario, partition, shard_ids,
                     result = worker.finish()
                     result["barrier_wait_s"] = idle[sid]
                     results[sid] = result
+                if capture:
+                    _attach_captures(workers, results)
                 conn.send(("finish", results))
                 return
             else:  # pragma: no cover - protocol guard
@@ -378,7 +457,7 @@ class _SubprocessPool:
     """
 
     def __init__(self, scenario, partition, n_workers, profile_for,
-                 transport):
+                 transport, capture: bool = False):
         ctx = get_context("fork")
         self.channels = _ChannelMap(partition)
         self.transport = transport
@@ -404,7 +483,8 @@ class _SubprocessPool:
             proc = ctx.Process(
                 target=_subprocess_main,
                 args=(child_conn, scenario, partition, mine,
-                      profile_paths, transport, self.bus),
+                      profile_paths, transport, self.bus, capture,
+                      TRACE.capacity),
                 daemon=True)
             proc.start()
             child_conn.close()
@@ -509,6 +589,15 @@ class ShardRunResult:
     horizon_rounds_skipped: int = 0
     shm_spills: int = 0
     profiles: List[Optional[str]] = field(default_factory=list)
+    # Observability side-band: the per-shard scheduler/sync metrics
+    # namespace (always present) and, when the run executed with the
+    # flight recorder armed, the merged-trace input (worker captures +
+    # coordinator round telemetry).  Excluded from comparisons — they
+    # describe the run, they are not part of its result.
+    registry: Optional[MetricsRegistry] = field(
+        default=None, repr=False, compare=False)
+    obs: Optional[ShardObs] = field(
+        default=None, repr=False, compare=False)
 
     @property
     def total_events(self) -> int:
@@ -582,11 +671,16 @@ def results_identical(sharded: ShardRunResult,
 # ---------------------------------------------------------------------------
 # drivers
 # ---------------------------------------------------------------------------
-def _coordinate(pool, partition: Partition, until: float
+def _coordinate(pool, partition: Partition, until: float,
+                log: Optional[List[Dict[str, Any]]] = None
                 ) -> Tuple[int, int, int]:
     """Run rounds until every clock reaches ``until`` and a full round
     moves no messages.  Returns (rounds, messages_relayed,
-    horizon_rounds_skipped).
+    horizon_rounds_skipped).  When ``log`` is given (traced runs), one
+    telemetry dict per round is appended — the coordinator-side view
+    (pre-round clocks, granted horizons, relaxed earliest-action bases,
+    frame/byte traffic, cumulative skips and spills) that the merge
+    exporter turns into barrier spans and counter tracks.
 
     Horizons are *adaptive*: shard ``s`` cannot act before
     ``E_s = min(peek_s, earliest pending boundary delivery to s)``,
@@ -655,6 +749,7 @@ def _coordinate(pool, partition: Partition, until: float
                     skipped += extra
         reports = pool.run_round(horizons)
         rounds += 1
+        prev_clocks = clocks
         clocks = horizons
         inbound_min = [_INF] * n
         moved = 0
@@ -667,6 +762,25 @@ def _coordinate(pool, partition: Partition, until: float
                 if earliest < inbound_min[dst]:
                     inbound_min[dst] = earliest
         relayed += moved
+        if log is not None:
+            frames = 0
+            frame_bytes = 0
+            for _sid, (_peek, meta) in reports.items():
+                frames += len(meta)
+                for count, _earliest in meta.values():
+                    frame_bytes += frame_nbytes(count)
+            log.append({
+                "round": rounds,
+                "clocks": list(prev_clocks),
+                "horizons": list(horizons),
+                "bases": [base if base < _INF else None
+                          for base in bases],
+                "moved": moved,
+                "frames": frames,
+                "bytes": frame_bytes,
+                "skipped": skipped,
+                "spills": getattr(pool, "shm_spills", 0),
+            })
         if moved == 0 and all(clock >= until for clock in clocks):
             return rounds, relayed, skipped
 
@@ -699,15 +813,23 @@ def run_sharded(scenario: ShardScenario,
         os.makedirs(profile_dir, exist_ok=True)
         return os.path.join(profile_dir, f"shard{sid}.prof")
 
+    # Distributed capture piggybacks on the armed process-wide recorder:
+    # a traced run (TRACE armed by the caller) makes every worker arm
+    # its own ring and ship per-shard captures home at finish.
+    capture = TRACE.enabled
+
     start = perf_counter()
     if workers == 1:
-        pool = _InProcessPool(scenario, partition, profile_for)
+        pool = _InProcessPool(scenario, partition, profile_for, capture)
     else:
         pool = _SubprocessPool(scenario, partition, workers, profile_for,
-                               transport or default_transport())
+                               transport or default_transport(), capture)
     try:
+        rounds_log: Optional[List[Dict[str, Any]]] = \
+            [] if capture else None
         rounds, relayed, skipped = _coordinate(pool, partition,
-                                               scenario.until)
+                                               scenario.until,
+                                               log=rounds_log)
         payloads = pool.finish()
     finally:
         pool.close()
@@ -729,6 +851,51 @@ def run_sharded(scenario: ShardScenario,
                 links[name] = dict(counters)
 
     ordered = [payloads[sid] for sid in range(partition.n_shards)]
+
+    transport_totals: Dict[str, Any] = {
+        "transport": pool.transport,
+        "workers": workers,
+        "rounds": rounds,
+        "messages_relayed": relayed,
+        "frames_sent": sum(p["frames_sent"] for p in ordered),
+        "transport_bytes": sum(p["frame_bytes"] for p in ordered),
+        "shm_spills": pool.shm_spills,
+        "horizon_rounds_skipped": skipped,
+    }
+    # The sharded-run metrics namespace (always built, traced or not):
+    # per-shard scheduler stats and barrier-wait accounting become
+    # first-class registry entries so export_jsonl / snapshot-diff
+    # cover sharded runs like any single-simulator deployment.
+    registry = MetricsRegistry("shard-run")
+    for sid, payload in enumerate(ordered):
+        registry.register(f"shard{sid}.scheduler",
+                          dict(payload["scheduler_stats"]))
+        registry.register(f"shard{sid}.sync", {
+            "clock_s": payload["clock"],
+            "events": payload["events"],
+            "work_s": payload["work_s"],
+            "barrier_wait_s": payload["barrier_wait_s"],
+            "frames_sent": payload["frames_sent"],
+            "frame_bytes": payload["frame_bytes"]})
+    registry.register("transport", transport_totals)
+
+    obs: Optional[ShardObs] = None
+    if capture:
+        captures: Dict[int, ShardCapture] = {}
+        for sid, payload in enumerate(ordered):
+            wire = payload.get("obs")
+            if wire is not None:
+                captures[sid] = ShardCapture.from_wire(wire)
+        obs = ShardObs(
+            captures=captures,
+            rounds=rounds_log or [],
+            shards={sid: {"events": payload["events"],
+                          "clock_s": payload["clock"],
+                          "work_s": payload["work_s"],
+                          "barrier_wait_s": payload["barrier_wait_s"]}
+                    for sid, payload in enumerate(ordered)},
+            transport=dict(transport_totals))
+
     return ShardRunResult(
         flows=flows,
         link_stats=links,
@@ -750,7 +917,9 @@ def run_sharded(scenario: ShardScenario,
         transport_bytes=sum(p["frame_bytes"] for p in ordered),
         horizon_rounds_skipped=skipped,
         shm_spills=pool.shm_spills,
-        profiles=[p.get("profile") for p in ordered])
+        profiles=[p.get("profile") for p in ordered],
+        registry=registry,
+        obs=obs)
 
 
 def run_unsharded(scenario: ShardScenario) -> UnshardedRunResult:

@@ -76,6 +76,25 @@ def _print_scheduler_stats(sims: list) -> None:
           f"cancelled-timer ratio)")
 
 
+def _print_shard_imbalance(result: dict) -> None:
+    """Barrier-wait / compute imbalance summary after a sharded run."""
+    works = result.get("work_s") or []
+    waits = result.get("barrier_wait_s") or []
+    if not works:
+        return
+    total_work = sum(works)
+    total_wait = sum(waits)
+    busy = total_work + total_wait
+    avg = total_work / len(works)
+    slowest = max(range(len(works)), key=works.__getitem__)
+    print(f"imbalance         : max/mean work "
+          f"{works[slowest] / avg if avg > 0 else 0.0:.2f}x "
+          f"(slowest shard {slowest}, {works[slowest] * 1e3:.1f} ms); "
+          f"barrier wait {total_wait * 1e3:.1f} ms of "
+          f"{busy * 1e3:.1f} ms busy "
+          f"({total_wait / busy if busy > 0 else 0.0:.1%})")
+
+
 def profile_sharded(name: str, run, kwargs: dict, args) -> int:
     """Profile a sharded experiment: one cProfile per shard worker.
 
@@ -85,15 +104,26 @@ def profile_sharded(name: str, run, kwargs: dict, args) -> int:
     outside the profiled region — lands in ``DIR/shard<N>.prof``, and
     the per-shard work vs barrier-wait breakdown shows where the wall
     time actually went.
+
+    With ``--trace PATH`` the run also captures per-worker flight
+    recorders and writes the merged multi-lane Perfetto timeline
+    (``run()`` must accept ``trace=``; see DESIGN.md §4.11).
     """
     profile_dir = Path(args.profile_dir)
     profile_dir.mkdir(parents=True, exist_ok=True)
+    run_kwargs = {**kwargs, "workers": args.shards,
+                  "profile_dir": str(profile_dir)}
+    if args.trace:
+        run_kwargs["trace"] = args.trace
     start = perf_counter()
-    result = run(**{**kwargs, "workers": args.shards,
-                    "profile_dir": str(profile_dir)})
+    result = run(**run_kwargs)
     wall = perf_counter() - start
 
     print(result["table"])
+    _print_shard_imbalance(result)
+    if args.trace:
+        print(f"merged shard trace written to {result.get('trace_path')} "
+              f"(metrics: {result.get('metrics_path')})")
     pooled = {}
     peak_spill = 0
     for stats in result["scheduler_stats"]:
@@ -251,7 +281,9 @@ def main(argv=None) -> int:
     parser.add_argument("--trace", default=None, metavar="PATH",
                         help="record a flight-recorder trace of the "
                              "profiled run: Perfetto JSON at PATH plus a "
-                             "metrics JSONL next to it (single-run mode)")
+                             "metrics JSONL next to it; with --shards the "
+                             "workers' captures merge into one multi-lane "
+                             "timeline (run() must accept trace=)")
     args = parser.parse_args(argv)
     if args.trace and args.sweep is not None:
         parser.error("--trace applies to single-run mode only "
@@ -273,8 +305,8 @@ def main(argv=None) -> int:
         parser.error(f"--kwargs must be a JSON object: {exc}")
 
     if args.shards is not None:
-        if args.sweep is not None or args.trace:
-            parser.error("--shards is exclusive with --sweep/--trace")
+        if args.sweep is not None:
+            parser.error("--shards is exclusive with --sweep")
         return profile_sharded(name, run, kwargs, args)
 
     if args.sweep is not None:

@@ -13,9 +13,14 @@ Usage (from the repo root):
     PYTHONPATH=src python tools/trace_report.py validate trace.json \
         --metrics trace.metrics.jsonl
 
+    # merged sharded-run report: per-shard lanes, barrier-wait
+    # breakdown, compute imbalance, transport counters, flow stitches
+    PYTHONPATH=src python tools/trace_report.py shards shard_trace.json
+
 The input is the Chrome/Perfetto trace-event JSON written by
-``repro.obs.export_trace`` (or any ``--trace`` flag); ``summary`` and
-``diff`` work on any trace in that format.
+``repro.obs.export_trace`` / ``repro.obs.merge.write_merged_trace``
+(or any ``--trace`` flag); ``summary`` and ``diff`` work on any trace
+in that format, ``shards`` needs a merged sharded-run trace.
 """
 
 from __future__ import annotations
@@ -184,6 +189,75 @@ def cmd_validate(args) -> int:
     return 0
 
 
+def cmd_shards(args) -> int:
+    trace = load_trace(args.trace)
+    other = trace.get("otherData", {})
+    shards = other.get("shards")
+    if not isinstance(shards, dict) or not shards:
+        print("not a merged sharded-run trace "
+              "(otherData.shards missing; see repro.obs.merge)")
+        return 1
+    events = _real_events(trace)
+
+    print(f"merged sharded trace: {args.trace}")
+    transport = other.get("transport", {})
+    if transport:
+        print(f"  transport: {transport.get('transport', '?')}  "
+              f"workers: {transport.get('workers', '?')}  "
+              f"rounds: {transport.get('rounds', '?')}  "
+              f"frames: {transport.get('frames_sent', '?')}  "
+              f"bytes: {transport.get('transport_bytes', '?')}  "
+              f"spills: {transport.get('shm_spills', '?')}  "
+              f"skipped: {transport.get('horizon_rounds_skipped', '?')}")
+    print(f"  flow stitches (cross-shard s/f pairs): "
+          f"{other.get('flow_pairs', 0)}  "
+          f"dropped records: {other.get('dropped_records', 0)}")
+
+    # -- barrier-wait / compute breakdown per shard --------------------
+    print("\nper-shard compute vs barrier wait (wall time):")
+    print(f"  {'shard':>5} {'events':>9} {'records':>9} {'work ms':>9} "
+          f"{'wait ms':>9} {'wait %':>7} {'clock ms':>9}")
+    works = []
+    for sid in sorted(shards, key=int):
+        info = shards[sid]
+        work = float(info.get("work_s", 0.0))
+        wait = float(info.get("barrier_wait_s", 0.0))
+        busy = work + wait
+        works.append(work)
+        print(f"  {sid:>5} {info.get('events', '?'):>9} "
+              f"{info.get('records', '?'):>9} {work * 1e3:>9.1f} "
+              f"{wait * 1e3:>9.1f} "
+              f"{(100.0 * wait / busy) if busy > 0 else 0.0:>6.1f}% "
+              f"{float(info.get('clock_s', 0.0)) * 1e3:>9.3f}")
+    if works and max(works) > 0:
+        avg = mean(works)
+        print(f"  compute imbalance (max/mean work): "
+              f"{max(works) / avg if avg > 0 else 0.0:.2f}x")
+
+    # -- per-shard span histograms -------------------------------------
+    by_pid: Dict[int, List[Dict[str, Any]]] = {}
+    for event in events:
+        by_pid.setdefault(event["pid"], []).append(event)
+    for pid in sorted(by_pid):
+        lane = "coordinator" if pid == 0 else f"shard {pid - 1}"
+        lane_events = by_pid[pid]
+        durations = _span_durations(lane_events)
+        print(f"\n{lane} (pid {pid}): {len(lane_events)} events")
+        totals = sorted(((sum(v), k) for k, v in durations.items()),
+                        reverse=True)
+        for total, kind in totals[:args.top]:
+            samples = durations[kind]
+            print(f"  {kind:<20} {len(samples):>8} "
+                  f"total {_fmt_us(total):>10}  "
+                  f"mean {_fmt_us(mean(samples)):>10}  "
+                  f"p99 {_fmt_us(percentile(samples, 99)):>10}")
+        instants = _instant_counts(lane_events)
+        for kind in sorted(instants, key=instants.get,
+                           reverse=True)[:args.top]:
+            print(f"  {kind:<20} {instants[kind]:>8} instants")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     sub = parser.add_subparsers(dest="command", required=True)
@@ -208,6 +282,14 @@ def main(argv=None) -> int:
     p_val.add_argument("--metrics", default=None,
                        help="metrics JSONL to cross-check span counts")
     p_val.set_defaults(fn=cmd_validate)
+
+    p_sh = sub.add_parser(
+        "shards", help="per-shard lanes / barrier / imbalance report "
+        "for a merged sharded-run trace")
+    p_sh.add_argument("trace")
+    p_sh.add_argument("--top", type=int, default=8,
+                      help="span kinds per lane to show (default 8)")
+    p_sh.set_defaults(fn=cmd_shards)
 
     args = parser.parse_args(argv)
     return args.fn(args)
